@@ -1,0 +1,21 @@
+"""§IV-A dataset variants: 64 B vs 1 KB items (512 B / 1 KB for YCSB)."""
+
+from repro.harness import run_dataset_variants
+
+
+def test_dataset_variants(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_dataset_variants, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("datasets", figure)
+    rows = figure.rows
+    # Bigger items always cost more absolute traffic under both schemes.
+    by_pair = {(r[0], r[1]): r for r in rows}
+    for workload in ("vector", "hashmap"):
+        small = by_pair[(workload, 64)]
+        large = by_pair[(workload, 1024)]
+        assert large[3] > small[3]  # hoop B/tx grows with item size
+        assert large[5] > small[5]  # redo B/tx grows with item size
+    # Redo's extra log traffic is visible at every size.
+    for row in rows:
+        assert row[6] > 0.8

@@ -1,0 +1,31 @@
+"""Figure 11: parallel recovery of a 1 GB OOP region.
+
+Paper shape: recovery time falls with NVM bandwidth (47 ms at 25 GB/s,
+2.3x faster than at 10 GB/s) and with recovery threads until the channel
+saturates.
+"""
+
+from repro.harness import run_figure11
+
+
+def test_fig11(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_figure11, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("fig11", figure)
+    col10 = figure.column("10 GB/s (ms)")
+    col25 = figure.column("25 GB/s (ms)")
+    threads = figure.column("Threads")
+    # More bandwidth -> faster recovery at every thread count.
+    for t10, t25 in zip(col10, col25):
+        assert t25 < t10
+    # More threads never hurt, and help at least 1.5x from 1 to 16 at
+    # high bandwidth.
+    assert col25[-1] <= col25[0]
+    assert col25[0] / col25[-1] > 1.5
+    # The paper's headline: ~47 ms for 1 GB at 25 GB/s with enough
+    # threads; our model should land in the same decade.
+    assert 10 <= col25[-1] <= 200
+    # Bandwidth speedup at max threads is around the paper's 2.3x.
+    assert 1.5 <= col10[-1] / col25[-1] <= 4.0
+    assert threads == sorted(threads)

@@ -1,0 +1,20 @@
+"""Figure 12: YCSB throughput under varying NVM latency.
+
+Paper shape: throughput improves monotonically as either read or write
+latency drops; HOOP benefits from both because loads and GC use reads
+while commits persist slices.
+"""
+
+from repro.harness import run_figure12
+
+
+def test_fig12(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_figure12, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("fig12", figure)
+    read_sweep = figure.column("read sweep (tx/ms)")
+    write_sweep = figure.column("write sweep (tx/ms)")
+    # Lowest latency (first row) beats highest latency (last row).
+    assert read_sweep[0] > read_sweep[-1]
+    assert write_sweep[0] > write_sweep[-1]

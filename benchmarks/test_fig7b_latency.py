@@ -1,0 +1,29 @@
+"""Figure 7b: critical-path latency across schemes and workloads.
+
+Paper shape: HOOP's latency is closest to Native among persistence
+schemes; LSM is the worst (software index walks); Opt-Undo is worse than
+Opt-Redo (strict per-transaction double drain vs a single drain).
+"""
+
+from repro.harness import run_figure7b
+
+
+def test_fig7b(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_figure7b, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("fig7b", figure)
+    geomean = figure.by_key("Workload")["geomean"]
+    columns = figure.columns
+
+    def of(scheme: str) -> float:
+        return geomean[columns.index(scheme)]
+
+    # HOOP has the lowest latency of all persistence schemes but LAD-level.
+    for scheme in ("opt-redo", "opt-undo", "osp", "lsm"):
+        assert of("hoop") < of(scheme), scheme
+    # LSM's software index keeps it clearly above HOOP and LAD
+    # (paper: HOOP is 60.5% lower than LSM, its widest latency margin).
+    assert of("lsm") > of("lad")
+    # Undo's double drain costs more than redo's single drain.
+    assert of("opt-undo") > of("opt-redo")

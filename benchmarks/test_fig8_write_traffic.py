@@ -1,0 +1,34 @@
+"""Figure 8: NVM write traffic per transaction.
+
+Paper shape: the logging baselines roughly double HOOP's traffic (2.1x
+redo, 1.9x undo); OSP/LSM sit moderately above HOOP.  LAD's line-granular
+commit is HOOP's closest competitor — on dense full-line updates (vector,
+hashmap with 64 B items) LAD can dip below HOOP, which EXPERIMENTS.md
+discusses; the geometric mean across the seven workloads keeps the
+paper's ordering for the logging family.
+"""
+
+from repro.harness import run_figure8
+
+
+def test_fig8(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_figure8, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("fig8", figure)
+    geomean = figure.by_key("Workload")["geomean"]
+    columns = figure.columns
+
+    def of(scheme: str) -> float:
+        return geomean[columns.index(f"{scheme} (xHOOP)")]
+
+    # Logging roughly doubles the traffic relative to HOOP.
+    assert of("opt-redo") > 1.4
+    assert of("opt-undo") > 1.3
+    # Redo and undo are within a few percent of each other (paper: 9.1%).
+    assert of("opt-redo") > of("opt-undo") * 0.9
+    # LSM is in HOOP's neighbourhood, well below the logging family
+    # (paper: +12.5%; our LSM dips slightly below HOOP on dense streaming
+    # writes where extent coalescing beats slice quanta — see
+    # EXPERIMENTS.md).
+    assert 0.7 < of("lsm") < of("opt-redo")

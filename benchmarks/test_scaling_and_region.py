@@ -1,0 +1,32 @@
+"""Thread scaling and OOP-region reservation sweeps (extra analyses)."""
+
+from repro.harness import run_region_fraction_sweep, run_thread_scaling
+
+
+def test_thread_scaling(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_thread_scaling, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("threads", figure)
+    native = figure.column("native")
+    hoop = figure.column("hoop")
+    # Both scale up with threads...
+    assert native[-1] > native[0] * 1.5
+    assert hoop[-1] > hoop[0] * 1.5
+    # ...but the ideal curve scales at least as well as HOOP's.
+    native_speedup = native[-1] / native[0]
+    hoop_speedup = hoop[-1] / hoop[0]
+    assert native_speedup >= hoop_speedup * 0.8
+
+
+def test_region_fraction_sweep(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_region_fraction_sweep, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("regions", figure)
+    on_demand = figure.column("on-demand GCs")
+    throughput = figure.column("tx/ms")
+    # Tighter reservations force more on-demand collections...
+    assert on_demand[0] >= on_demand[-1]
+    # ...without collapsing throughput (the stall is bounded).
+    assert min(throughput) >= max(throughput) * 0.5

@@ -1,0 +1,19 @@
+"""Table I: the qualitative crash-consistency comparison."""
+
+from repro.harness import run_table1
+
+
+def test_table1(benchmark, record_figure):
+    figure = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record_figure("table1", figure)
+    rows = figure.by_key("Scheme")
+    hoop = rows["hoop"]
+    # HOOP's Table I row: low read latency, nothing extra on the critical
+    # path, no flushes/fences, low write traffic.
+    assert hoop[2] == "Low"
+    assert hoop[3] == "No"
+    assert hoop[4] == "No"
+    assert hoop[5] == "Low"
+    # The logging baselines put extra writes on the critical path.
+    assert rows["opt-redo"][3] == "Yes"
+    assert rows["opt-undo"][3] == "Yes"

@@ -1,0 +1,28 @@
+"""Table IV: GC data-reduction ratio vs transactions per collection.
+
+Paper shape: the reduction ratio rises monotonically with the number of
+transactions between GC passes (more same-word overwrites coalesce),
+from ~25% at 10 transactions to >80% at 10,000.
+"""
+
+from repro.harness import run_table4
+
+
+def test_table4(benchmark, record_figure, scale):
+    figure = benchmark.pedantic(
+        run_table4, args=(scale,), rounds=1, iterations=1
+    )
+    record_figure("table4", figure)
+    counts = figure.column("Tx between GCs")
+    # For every workload the reduction ratio grows with the window size.
+    for workload in figure.columns[1:]:
+        series = figure.column(workload)
+        assert series[0] < series[-1], (
+            f"{workload}: reduction did not grow "
+            f"({series[0]:.3f} -> {series[-1]:.3f})"
+        )
+    # The largest window coalesces at least half the modified bytes for
+    # the overwrite-heavy workloads (paper: 70-85%).
+    hashmap = figure.column("hashmap")
+    assert hashmap[-1] > 0.5
+    assert counts == sorted(counts)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Run the YCSB key-value workload under every crash-consistency scheme.
+
+The scenario from the paper's introduction: a key-value store on NVM
+needs atomic durability, and the scheme choice decides throughput, commit
+latency, and device wear.  This prints the comparison for a scaled-down
+YCSB (Zipfian keys, 80% updates).
+
+Run:  python examples/kvstore_ycsb.py [--transactions N] [--threads T]
+"""
+
+import argparse
+
+from repro import MemorySystem, SystemConfig
+from repro.stats.report import format_table
+from repro.workloads import WorkloadDriver, make_workload
+
+SCHEMES = ("native", "hoop", "opt-redo", "opt-undo", "osp", "lsm", "lad")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--transactions", type=int, default=600)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--records", type=int, default=1024)
+    args = parser.parse_args()
+
+    rows = []
+    for scheme in SCHEMES:
+        system = MemorySystem(SystemConfig.small(), scheme=scheme)
+        workload = make_workload(
+            "ycsb", system, seed=11, records=args.records
+        )
+        driver = WorkloadDriver(system, threads=args.threads, seed=11)
+        result = driver.run(workload, args.transactions, warmup=50)
+        rows.append(
+            [
+                scheme,
+                result.throughput_tx_per_ms,
+                result.mean_latency_ns,
+                result.bytes_per_tx,
+                result.energy_pj / max(result.transactions, 1) / 1000.0,
+            ]
+        )
+
+    print(
+        format_table(
+            ["scheme", "tx/ms", "latency ns", "NVM B/tx", "nJ/tx"], rows
+        )
+    )
+    hoop = next(r for r in rows if r[0] == "hoop")
+    redo = next(r for r in rows if r[0] == "opt-redo")
+    print(
+        f"\nHOOP vs Opt-Redo: {hoop[1] / redo[1]:.2f}x throughput,"
+        f" {redo[3] / hoop[3]:.2f}x less write traffic"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on an offline machine that lacks ``wheel`` cannot build
+the editable wheel PEP 660 requires; ``python setup.py develop`` (or adding
+``src/`` to a ``.pth`` file) achieves the same result with stdlib-only
+tooling.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""HOOP reproduction: hardware-assisted out-of-place update for NVM.
+
+A full-system, trace-driven functional + timing simulator reproducing
+*HOOP: Efficient Hardware-Assisted Out-of-Place Update for Non-Volatile
+Memory* (ISCA 2020): the HOOP memory-controller indirection layer, five
+baseline crash-consistency schemes, the paper's workloads, and a harness
+that regenerates every figure and table in the evaluation.
+
+Quickstart::
+
+    from repro import MemorySystem, SystemConfig
+
+    system = MemorySystem(SystemConfig.small(), scheme="hoop")
+    addr = system.allocate(64)
+    with system.transaction() as tx:
+        tx.store(addr, b"hello, persistent world!".ljust(64, b"\\0"))
+    system.crash()
+    system.recover(threads=4)
+    assert system.durable_state(addr, 5) == b"hello"
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    EnergyConfig,
+    GCConfig,
+    HoopConfig,
+    NVMConfig,
+    SystemConfig,
+)
+from repro.txn.system import MemorySystem
+from repro.txn.transaction import Transaction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MemorySystem",
+    "Transaction",
+    "SystemConfig",
+    "CacheConfig",
+    "NVMConfig",
+    "EnergyConfig",
+    "GCConfig",
+    "HoopConfig",
+    "__version__",
+]

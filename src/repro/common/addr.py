@@ -1,0 +1,118 @@
+"""Cache-line and word address arithmetic.
+
+HOOP tracks data at two granularities: the cache hierarchy works in 64-byte
+**cache lines**, while the OOP data buffer packs updates at 8-byte **word**
+granularity (Section III-C, "HOOP tracks data updates at a word granularity
+instead of a cache line granularity").  All helpers here are pure functions
+over integer physical addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.common.errors import AddressError
+
+CACHE_LINE_BYTES = 64
+WORD_BYTES = 8
+WORDS_PER_LINE = CACHE_LINE_BYTES // WORD_BYTES
+
+
+def cache_line_base(addr: int) -> int:
+    """Round ``addr`` down to its cache-line base address."""
+    return addr & ~(CACHE_LINE_BYTES - 1)
+
+
+def cache_line_offset(addr: int) -> int:
+    """Byte offset of ``addr`` within its cache line."""
+    return addr & (CACHE_LINE_BYTES - 1)
+
+
+def cache_line_index(addr: int) -> int:
+    """Cache-line number of ``addr`` (address divided by line size)."""
+    return addr >> 6
+
+
+def word_base(addr: int) -> int:
+    """Round ``addr`` down to its 8-byte word base address."""
+    return addr & ~(WORD_BYTES - 1)
+
+
+def word_index(addr: int) -> int:
+    """Word number of ``addr`` (address divided by word size)."""
+    return addr >> 3
+
+
+def word_offset_in_line(addr: int) -> int:
+    """Index (0..7) of the word containing ``addr`` within its line."""
+    return (addr & (CACHE_LINE_BYTES - 1)) >> 3
+
+
+def is_word_aligned(addr: int) -> bool:
+    """True when ``addr`` is 8-byte aligned."""
+    return (addr & (WORD_BYTES - 1)) == 0
+
+
+def is_line_aligned(addr: int) -> bool:
+    """True when ``addr`` is 64-byte aligned."""
+    return (addr & (CACHE_LINE_BYTES - 1)) == 0
+
+
+def check_range(addr: int, size: int) -> None:
+    """Validate a positive-size, non-negative-address access."""
+    if addr < 0:
+        raise AddressError(f"negative address {addr:#x}")
+    if size <= 0:
+        raise AddressError(f"non-positive access size {size}")
+
+
+def iter_cache_lines(addr: int, size: int) -> Iterator[int]:
+    """Yield the base address of every cache line touched by the access."""
+    check_range(addr, size)
+    line = cache_line_base(addr)
+    end = addr + size
+    while line < end:
+        yield line
+        line += CACHE_LINE_BYTES
+
+
+def iter_words(addr: int, size: int) -> Iterator[int]:
+    """Yield the base address of every 8-byte word touched by the access."""
+    check_range(addr, size)
+    word = word_base(addr)
+    end = addr + size
+    while word < end:
+        yield word
+        word += WORD_BYTES
+
+
+def split_by_cache_line(addr: int, size: int) -> Iterator[Tuple[int, int, int]]:
+    """Split an access into per-line pieces.
+
+    Yields ``(line_base, piece_addr, piece_size)`` tuples covering exactly
+    ``[addr, addr + size)`` without crossing cache-line boundaries.
+    """
+    check_range(addr, size)
+    cursor = addr
+    end = addr + size
+    while cursor < end:
+        line = cache_line_base(cursor)
+        piece_end = min(end, line + CACHE_LINE_BYTES)
+        yield line, cursor, piece_end - cursor
+        cursor = piece_end
+
+
+def count_cache_lines(addr: int, size: int) -> int:
+    """Number of distinct cache lines touched by the access."""
+    check_range(addr, size)
+    first = cache_line_index(addr)
+    last = cache_line_index(addr + size - 1)
+    return last - first + 1
+
+
+def count_words(addr: int, size: int) -> int:
+    """Number of distinct 8-byte words touched by the access."""
+    check_range(addr, size)
+    first = word_index(addr)
+    last = word_index(addr + size - 1)
+    return last - first + 1

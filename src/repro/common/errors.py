@@ -1,0 +1,42 @@
+"""Exception hierarchy for the HOOP reproduction.
+
+Every error the library raises derives from :class:`ReproError`, so callers
+can catch one type at the API boundary.  Subtypes mirror the major failure
+domains: configuration, addressing, capacity, transactions, and on-NVM
+corruption (the latter is raised by decoders when slice metadata fails
+validation — recovery treats it as a torn write).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration values."""
+
+
+class AddressError(ReproError):
+    """An address is out of range, misaligned, or in the wrong region."""
+
+
+class CapacityError(ReproError):
+    """A bounded hardware structure (buffer, table, region) overflowed."""
+
+
+class TransactionError(ReproError):
+    """Transactional API misuse (nested begin, write outside tx, ...)."""
+
+
+class CorruptionError(ReproError):
+    """On-NVM metadata failed validation (torn or stray write)."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class AllocationError(ReproError):
+    """The persistent heap could not satisfy an allocation."""

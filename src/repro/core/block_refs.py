@@ -1,0 +1,68 @@
+"""Volatile per-block liveness bookkeeping for safe block reclamation.
+
+Algorithm 1 reclaims a ``BLK_FULL`` block after migrating its committed
+transactions — but a full block can also hold slices of a transaction that
+is *still open* (it filled the block and kept going), and those slices must
+survive until that transaction commits and is itself migrated.  The memory
+controller tracks, per block, which transactions have slices there and
+whether each is open, committed, or retired.  This is SRAM state: a crash
+destroys it, which is safe because recovery replays the commit log and then
+clears the whole region.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+
+class BlockRefs:
+    """Tracks which transactions keep which OOP blocks alive."""
+
+    def __init__(self) -> None:
+        self._block_txs: Dict[int, Set[int]] = defaultdict(set)
+        self._tx_blocks: Dict[int, Set[int]] = defaultdict(set)
+        self._open_txs: Set[int] = set()
+
+    def on_tx_begin(self, tx_id: int) -> None:
+        self._open_txs.add(tx_id)
+
+    def on_slice_written(self, tx_id: int, block: int) -> None:
+        self._block_txs[block].add(tx_id)
+        self._tx_blocks[tx_id].add(block)
+
+    def on_tx_commit(self, tx_id: int) -> None:
+        self._open_txs.discard(tx_id)
+
+    def on_tx_retired(self, tx_id: int) -> None:
+        """Drop a migrated transaction's references."""
+        self._open_txs.discard(tx_id)
+        for block in self._tx_blocks.pop(tx_id, set()):
+            txs = self._block_txs.get(block)
+            if txs is not None:
+                txs.discard(tx_id)
+                if not txs:
+                    del self._block_txs[block]
+
+    def blocks_of(self, tx_id: int) -> Set[int]:
+        return set(self._tx_blocks.get(tx_id, set()))
+
+    def live_txs_in(self, block: int) -> Set[int]:
+        return set(self._block_txs.get(block, set()))
+
+    def has_open_tx(self, block: int) -> bool:
+        return any(tx in self._open_txs for tx in self._block_txs.get(block, ()))
+
+    def is_reclaimable(self, block: int) -> bool:
+        """True when no live transaction references the block."""
+        return not self._block_txs.get(block)
+
+    def open_transactions(self) -> List[int]:
+        return sorted(self._open_txs)
+
+    def crash(self) -> None:
+        self._block_txs.clear()
+        self._tx_blocks.clear()
+        self._open_txs.clear()
+
+    clear = crash

@@ -1,0 +1,250 @@
+"""The commit log: address memory slices recording committed transactions.
+
+Section III-D: "The start address of these linked memory slices is stored
+in an address memory slice.  Address memory slices allow GC to quickly
+identify committed transactions in the OOP region."
+
+Each entry names one **chain segment** — the region index of its last data
+slice, from which prev-links walk the segment newest-first.  A transaction
+normally has exactly one entry; extra uncommitted entries appear only when
+a prev-delta overflowed the 24-bit field mid-transaction.  Appending the
+final entry with the ``committed`` bit — a synchronous 128-byte slice
+persist — is **HOOP's commit point**: a transaction whose committed entry
+is durable is recovered; one without is garbage.  GC sets the ``retired``
+bit once the transaction's updates have been migrated to the home region,
+after which neither GC nor recovery replays it and the data blocks it
+references become reclaimable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.oop_region import OOPRegion
+from repro.core.slices import AddressSlice, AddressSliceEntry, SliceCodec
+
+
+@dataclass
+class _Page:
+    """A volatile view of one on-NVM address slice."""
+
+    slice_index: int
+    content: AddressSlice = field(default_factory=AddressSlice)
+
+    @property
+    def live_entries(self) -> int:
+        return sum(1 for e in self.content.entries if not e.retired)
+
+
+@dataclass(frozen=True)
+class CommittedTx:
+    """A replayable transaction: its id and segment tails, oldest first."""
+
+    tx_id: int
+    segment_tails: Tuple[int, ...]
+
+
+class CommitLog:
+    """Manages address memory slices and the retired-bit lifecycle."""
+
+    def __init__(self, region: OOPRegion, codec: SliceCodec) -> None:
+        self.region = region
+        self.codec = codec
+        self._pages: List[_Page] = []
+        self._tx_pages: Dict[int, List[_Page]] = {}
+        self._dirty: set = set()
+        self._next_sequence = 0
+        self.commits = 0
+        self.segments = 0
+        self.retired = 0
+
+    # -- commit path --------------------------------------------------------
+
+    def append_entry(
+        self, tx_id: int, tail_slice: int, committed: bool, now_ns: float
+    ) -> float:
+        """Record a chain segment; returns completion time.
+
+        Commit entries are *lazy*: the transaction's durability comes from
+        its synchronously-persisted STATE_LAST data slice, and the address
+        slice exists to let GC and recovery find transactions quickly
+        (§III-D), so a page is only written out when it fills — batching
+        up to ``entries_per_addr_slice`` commits into one 128-byte write.
+        Mid-transaction *segment* entries (uncommitted continuations) are
+        persisted eagerly because the final data slice alone cannot reach
+        them.
+        """
+        page = self._current_page(now_ns)
+        page.content.entries.append(
+            AddressSliceEntry(
+                tx_id=tx_id, tail_slice=tail_slice, committed=committed
+            )
+        )
+        self._tx_pages.setdefault(tx_id, []).append(page)
+        self.segments += 1
+        if committed:
+            self.commits += 1
+        if not committed:
+            return self._flush_page(page, now_ns, sync=True)
+        if len(page.content.entries) >= self.codec.entries_per_addr_slice:
+            return self._flush_page(page, now_ns, sync=False)
+        self._dirty.add(id(page))
+        return now_ns
+
+    def _flush_page(self, page: "_Page", now_ns: float, *, sync: bool) -> float:
+        raw = self.codec.encode_addr(page.content)
+        self._dirty.discard(id(page))
+        return self.region.write_slice(page.slice_index, raw, now_ns, sync=sync)
+
+    def flush_dirty(self, now_ns: float, *, sync: bool = True) -> float:
+        """Persist every page with unwritten entries (pre-retire barrier)."""
+        completion = now_ns
+        for page in self._pages:
+            if id(page) in self._dirty:
+                completion = self._flush_page(page, now_ns, sync=sync)
+        return completion
+
+    def _current_page(self, now_ns: float) -> _Page:
+        if self._pages and (
+            len(self._pages[-1].content.entries)
+            < self.codec.entries_per_addr_slice
+        ):
+            return self._pages[-1]
+        slice_index = self.region.allocate_slice(now_ns, stream="addr")
+        page = _Page(
+            slice_index,
+            AddressSlice(entries=[], sequence=self._next_sequence),
+        )
+        self._next_sequence += 1
+        self._pages.append(page)
+        return page
+
+    # -- consumers (GC, recovery) ------------------------------------------------
+
+    def committed_transactions(self) -> List[CommittedTx]:
+        """Live (committed, unretired) transactions in commit order.
+
+        A transaction is included iff its final entry carries the
+        ``committed`` bit and is not retired; its segment tails are
+        returned in append (oldest-first) order.
+        """
+        segments: Dict[int, List[int]] = {}
+        committed_ids: List[int] = []
+        for page in self._pages:
+            for entry in page.content.entries:
+                if entry.retired:
+                    segments.pop(entry.tx_id, None)
+                    continue
+                segments.setdefault(entry.tx_id, []).append(entry.tail_slice)
+                if entry.committed:
+                    committed_ids.append(entry.tx_id)
+        return [
+            CommittedTx(tx_id, tuple(segments[tx_id]))
+            for tx_id in committed_ids
+            if tx_id in segments
+        ]
+
+    def known_tx_ids(self) -> set:
+        """Every transaction id appearing in any page (recovery dedupe)."""
+        out = set()
+        for page in self._pages:
+            for entry in page.content.entries:
+                out.add(entry.tx_id)
+        return out
+
+    def open_segments(self) -> Dict[int, List[int]]:
+        """Uncommitted, unretired segment tails per transaction.
+
+        Recovery combines these with a transaction's scanned STATE_LAST
+        slice when the final (committed) entry never reached a page.
+        """
+        out: Dict[int, List[int]] = {}
+        for page in self._pages:
+            for entry in page.content.entries:
+                if not entry.committed and not entry.retired:
+                    out.setdefault(entry.tx_id, []).append(entry.tail_slice)
+        return out
+
+    def retire(self, tx_ids: Iterable[int], now_ns: float) -> float:
+        """Mark transactions migrated; rewrites each affected page durably.
+
+        Must complete before the data blocks those transactions reference
+        are reclaimed, otherwise a crash between reclaim and retire would
+        leave recovery chasing chains into reused slices.
+        """
+        ids = set(tx_ids)
+        dirty: List[_Page] = []
+        for tx_id in ids:
+            for page in self._tx_pages.get(tx_id, []):
+                changed = False
+                for i, entry in enumerate(page.content.entries):
+                    if entry.tx_id == tx_id and not entry.retired:
+                        page.content.entries[i] = AddressSliceEntry(
+                            tx_id=entry.tx_id,
+                            tail_slice=entry.tail_slice,
+                            committed=entry.committed,
+                            retired=True,
+                        )
+                        self.retired += 1
+                        changed = True
+                if changed and page not in dirty:
+                    dirty.append(page)
+        completion = now_ns
+        for page in dirty:
+            completion = self._flush_page(page, now_ns, sync=True)
+        return completion
+
+    # -- page reclamation -----------------------------------------------------------
+
+    def fully_retired_pages(self) -> List[int]:
+        """Slice indexes of pages with no live entries (reclaimable)."""
+        return [
+            p.slice_index
+            for p in self._pages[:-1]  # never reclaim the open tail page
+            if p.content.entries and p.live_entries == 0
+        ]
+
+    def drop_pages(self, slice_indexes: Iterable[int]) -> None:
+        """Forget fully-retired pages (their blocks are being reclaimed)."""
+        doomed = set(slice_indexes)
+        dropped = [p for p in self._pages if p.slice_index in doomed]
+        self._pages = [p for p in self._pages if p.slice_index not in doomed]
+        for page in dropped:
+            for entry in page.content.entries:
+                pages = self._tx_pages.get(entry.tx_id)
+                if pages is not None:
+                    pages[:] = [p for p in pages if p is not page]
+                    if not pages:
+                        del self._tx_pages[entry.tx_id]
+
+    @property
+    def live_count(self) -> int:
+        return sum(p.live_entries for p in self._pages)
+
+    # -- crash lifecycle -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Volatile page cache vanishes (NVM copies remain)."""
+        self._pages = []
+        self._tx_pages = {}
+        self._dirty = set()
+
+    def rebuild(self, pages: List[Tuple[int, AddressSlice]]) -> None:
+        """Restore the volatile view from decoded on-NVM pages (recovery)."""
+        ordered = sorted(pages, key=lambda p: p[1].sequence)
+        self._pages = [_Page(idx, content) for idx, content in ordered]
+        self._tx_pages = {}
+        self._dirty = set()
+        for page in self._pages:
+            for entry in page.content.entries:
+                self._tx_pages.setdefault(entry.tx_id, []).append(page)
+        if self._pages:
+            self._next_sequence = self._pages[-1].content.sequence + 1
+
+    def clear(self) -> None:
+        """Reset after recovery wiped the OOP region."""
+        self._pages = []
+        self._tx_pages = {}
+        self._dirty = set()
+        self._next_sequence = 0

@@ -1,0 +1,224 @@
+"""The hash-based physical-to-physical address mapping table (§III-C).
+
+Maps home-region **word** addresses to the current out-of-place location of
+their newest durable value: either a slot in a core's OOP data buffer (the
+update has not been flushed yet) or a word slot inside a data memory slice
+in the OOP region.  Lookups are grouped per cache line because the consumer
+is the LLC-miss path, which reconstructs a whole 64-byte line.
+
+Capacity is the SRAM budget from Section III-H: 2 MB at 16 bytes per entry
+(8-byte home word address + 8-byte OOP location) = 128 K entries.  When
+occupancy crosses the configured threshold the controller triggers
+on-demand GC; entries belonging to still-open transactions cannot be
+migrated, so the table may transiently exceed its budget — counted in
+``overflow_events`` and reported, never hidden.
+
+Design note (documented deviation): the paper removes an entry when an LLC
+miss hits the table, arguing the cache hierarchy now holds the newest
+version.  That optimization is purely about SRAM occupancy and re-creates
+the entry on the next eviction; we keep entries until GC migrates them,
+which preserves identical read results while making the occupancy we report
+an upper bound.  See DESIGN.md §"Mapping-table lifetime".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.addr import cache_line_base
+
+
+@dataclass(frozen=True)
+class OOPLocation:
+    """Where a word's newest durable (or buffered) value lives."""
+
+    in_buffer: bool  # True: core's OOP data buffer; False: OOP region slice
+    slice_index: int  # region slice index (or buffer core id when in_buffer)
+    word_slot: int  # word position within the slice / buffer entry
+    seq: int  # global store sequence, for GC version comparison
+    tx_id: int
+
+
+@dataclass
+class MappingStats:
+    inserts: int = 0
+    updates: int = 0
+    removes: int = 0
+    line_hits: int = 0
+    line_misses: int = 0
+    overflow_events: int = 0
+    peak_entries: int = 0
+    condensed_lines: int = 0
+
+
+class MappingTable:
+    """Home-word → OOP-location map with a hard SRAM entry budget.
+
+    With ``condense=True`` (the paper's §III-I extension, "condense
+    multiple mapping entries into one by exploiting the data locality"),
+    a cache line whose eight words all map into the *same* memory slice
+    is accounted as a single entry instead of eight — the SRAM-occupancy
+    saving the paper sketches.  Lookup results are identical; only the
+    occupancy accounting (and therefore GC-pressure timing) changes.
+    """
+
+    def __init__(self, capacity_entries: int, *, condense: bool = False) -> None:
+        if capacity_entries <= 0:
+            raise ValueError("mapping table capacity must be positive")
+        self.capacity_entries = capacity_entries
+        self.condense = condense
+        # line base -> {word addr -> OOPLocation}
+        self._lines: Dict[int, Dict[int, OOPLocation]] = {}
+        self._condensed: set = set()
+        self._entries = 0
+        self.stats = MappingStats()
+
+    # -- condensing (§III-I) --------------------------------------------------
+
+    def _recheck_condensed(self, line: int) -> None:
+        """Update the line's condensed status and entry accounting."""
+        if not self.condense:
+            return
+        words = self._lines.get(line)
+        condensable = (
+            words is not None
+            and len(words) == 8
+            and len({loc.slice_index for loc in words.values()}) == 1
+            and not any(loc.in_buffer for loc in words.values())
+        )
+        if condensable and line not in self._condensed:
+            self._condensed.add(line)
+            self._entries -= 7
+            self.stats.condensed_lines += 1
+        elif not condensable and line in self._condensed:
+            self._condensed.discard(line)
+            self._entries += 7
+
+    # -- store-side updates -----------------------------------------------------
+
+    def record(self, word_addr: int, location: OOPLocation) -> None:
+        """Insert or update the newest location of a home word."""
+        line = cache_line_base(word_addr)
+        words = self._lines.get(line)
+        if words is None:
+            words = {}
+            self._lines[line] = words
+        if word_addr in words:
+            self.stats.updates += 1
+        else:
+            self._entries += 1
+            self.stats.inserts += 1
+            if self._entries > self.capacity_entries:
+                self.stats.overflow_events += 1
+            self.stats.peak_entries = max(self.stats.peak_entries, self._entries)
+        words[word_addr] = location
+        self._recheck_condensed(line)
+
+    def relocate_buffered(
+        self, word_addr: int, seq: int, new_location: OOPLocation
+    ) -> None:
+        """Repoint a buffered word at its flushed slice location.
+
+        Only updates the entry when it still refers to the same store
+        (matched by ``seq``); a newer store supersedes the flush.
+        """
+        line = cache_line_base(word_addr)
+        words = self._lines.get(line)
+        if words is None:
+            return
+        current = words.get(word_addr)
+        if current is not None and current.seq == seq and current.in_buffer:
+            words[word_addr] = new_location
+            self._recheck_condensed(line)
+
+    # -- load-side lookups --------------------------------------------------------
+
+    def lookup_line(self, line_addr: int) -> Optional[Dict[int, OOPLocation]]:
+        """All mapped words of a cache line (the LLC-miss probe)."""
+        words = self._lines.get(cache_line_base(line_addr))
+        if words:
+            self.stats.line_hits += 1
+            return dict(words)
+        self.stats.line_misses += 1
+        return None
+
+    def lookup_word(self, word_addr: int) -> Optional[OOPLocation]:
+        words = self._lines.get(cache_line_base(word_addr))
+        if words is None:
+            return None
+        return words.get(word_addr)
+
+    # -- GC-side removal --------------------------------------------------------
+
+    def remove_if_stale(self, word_addr: int, migrated_seq: int) -> bool:
+        """Drop the entry unless a newer store superseded the migration.
+
+        Mirrors Algorithm 1 lines 22–23: after GC writes a word home, the
+        mapping entry is removed — but only if it still describes the
+        version that was migrated.
+        """
+        line = cache_line_base(word_addr)
+        words = self._lines.get(line)
+        if words is None:
+            return False
+        current = words.get(word_addr)
+        if current is None or current.seq > migrated_seq:
+            return False
+        if line in self._condensed:
+            self._condensed.discard(line)
+            self._entries += 7
+        del words[word_addr]
+        self._entries -= 1
+        self.stats.removes += 1
+        if not words:
+            del self._lines[line]
+        return True
+
+    def remove_words(self, word_addrs: Iterable[int]) -> int:
+        """Unconditional removal (recovery cleanup); returns count removed."""
+        removed = 0
+        for word_addr in word_addrs:
+            line = cache_line_base(word_addr)
+            words = self._lines.get(line)
+            if words and word_addr in words:
+                if line in self._condensed:
+                    self._condensed.discard(line)
+                    self._entries += 7
+                del words[word_addr]
+                self._entries -= 1
+                self.stats.removes += 1
+                removed += 1
+                if not words:
+                    del self._lines[line]
+        return removed
+
+    # -- occupancy ------------------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        return self._entries
+
+    @property
+    def fill_fraction(self) -> float:
+        return self._entries / self.capacity_entries
+
+    def tracked_lines(self) -> List[int]:
+        return list(self._lines.keys())
+
+    def iter_words(self) -> Iterable[Tuple[int, OOPLocation]]:
+        for words in self._lines.values():
+            yield from words.items()
+
+    # -- crash lifecycle -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """SRAM content is lost on power failure."""
+        self._lines.clear()
+        self._condensed.clear()
+        self._entries = 0
+
+    def clear(self) -> None:
+        self._lines.clear()
+        self._condensed.clear()
+        self._entries = 0

@@ -1,0 +1,282 @@
+"""Multiple memory controllers with two-phase commit (paper §III-I).
+
+The paper sketches the extension: "HOOP can be extended to support
+multiple memory controllers with the two-phase commit protocol.  In the
+Prepare phase, the cache controller will send the modified data in a
+transaction to the OOP data buffer [of each controller] ... the cache
+controller waits for all outstanding flushes to be acknowledged.  In the
+Commit phase, the cache controller sends the commit message with the
+transaction identity to all memory controllers."
+
+This module implements that sketch faithfully on top of the
+single-controller machinery:
+
+* the physical address space is interleaved across ``controllers`` HOOP
+  controllers at cache-line granularity; each controller owns an equal
+  carve of the reserved OOP region;
+* **Prepare**: each participating controller drains the transaction's
+  slices (the per-controller ``tx_end`` flush), in parallel — the commit
+  waits for the *slowest* participant;
+* **Commit**: a commit entry for the transaction is durably appended on
+  *every* controller (the commit message), again in parallel;
+* **Recovery**: a transaction is replayed only when every controller
+  holds its commit entry — a torn two-phase commit (entries on some
+  controllers only) is discarded everywhere, preserving atomicity across
+  the interleave.  The single-controller STATE_LAST shortcut is disabled
+  because a locally-final slice proves nothing globally.
+
+The per-controller GC keeps running independently; it only ever migrates
+transactions whose commit entry is locally durable, which in this
+protocol implies the global commit succeeded or will be resolved by
+recovery before any block reuse (entries are written before ``tx_end``
+returns).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.addr import cache_line_index
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.core.controller import HoopController
+from repro.core.recovery import RecoveryReport
+from repro.nvm.device import NVMDevice
+from repro.schemes.base import PersistenceScheme, SchemeTraits
+
+# Controller-to-controller commit message hop (on-package interconnect).
+_COMMIT_MESSAGE_NS = 20.0
+
+
+class MultiControllerHoopScheme(PersistenceScheme):
+    """HOOP across ``controllers`` memory controllers with 2PC."""
+
+    name = "hoop-mc"
+    traits = SchemeTraits(
+        approach="Hardware out-of-place update (multi-controller)",
+        read_latency="Low",
+        extra_writes_on_critical_path=False,
+        requires_flush_fence=False,
+        write_traffic="Low",
+    )
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        device: NVMDevice,
+        controllers: int = 2,
+    ) -> None:
+        super().__init__(config, device)
+        if controllers < 2:
+            raise ConfigError("multi-controller mode needs >= 2 controllers")
+        carve = config.oop_region_bytes // controllers
+        carve -= carve % config.hoop.oop_block_bytes
+        if carve < 2 * config.hoop.oop_block_bytes:
+            raise ConfigError("OOP region too small to split")
+        self.controllers: List[HoopController] = [
+            HoopController(
+                config,
+                device,
+                region_base=config.oop_region_base + i * carve,
+                region_size=carve,
+            )
+            for i in range(controllers)
+        ]
+        # Open transactions: tx -> set of participating controller ids.
+        self._participants = {}
+        self.two_phase_commits = 0
+
+    # -- partitioning -----------------------------------------------------------
+
+    def _owner(self, addr: int) -> int:
+        """Line-interleaved ownership across controllers."""
+        return cache_line_index(addr) % len(self.controllers)
+
+    # -- transactional API -----------------------------------------------------
+
+    def tx_begin(self, core: int, now_ns: float) -> Tuple[int, float]:
+        tx_id, now_ns = super().tx_begin(core, now_ns)
+        self._participants[tx_id] = set()
+        return tx_id, now_ns
+
+    def on_store(
+        self,
+        core: int,
+        tx_id: int,
+        addr: int,
+        size: int,
+        line_addr: int,
+        line_data: bytes,
+        now_ns: float,
+    ) -> float:
+        self.stats.tx_stores += 1
+        owner = self._owner(line_addr)
+        controller = self.controllers[owner]
+        participants = self._participants[tx_id]
+        if owner not in participants:
+            controller.tx_begin(core, tx_id, now_ns)
+            participants.add(owner)
+        return controller.tx_store(
+            core, tx_id, addr, size, line_addr, line_data, now_ns
+        )
+
+    def tx_end(self, core: int, tx_id: int, now_ns: float) -> float:
+        participants = sorted(self._participants.pop(tx_id, set()))
+        if not participants:
+            return now_ns
+        # Prepare: every participant drains its slices; the cache
+        # controller waits for all flush acknowledgements (max, parallel).
+        prepare_done = now_ns
+        tails = {}
+        for owner in participants:
+            controller = self.controllers[owner]
+            segments, completion = controller.buffer.tx_end(core, now_ns)
+            tails[owner] = segments
+            prepare_done = max(prepare_done, completion)
+        # Commit: the commit message reaches every controller and each
+        # durably records the transaction identity.
+        commit_done = prepare_done + _COMMIT_MESSAGE_NS
+        for i, controller in enumerate(self.controllers):
+            segments = tails.get(i, [])
+            done = prepare_done
+            for tail in segments[:-1]:
+                done = max(
+                    done,
+                    controller.commit_log.append_entry(
+                        tx_id, tail, False, prepare_done
+                    ),
+                )
+            tail = segments[-1] if segments else 0
+            done = max(
+                done,
+                controller.commit_log.append_entry(
+                    tx_id, tail, True, prepare_done
+                ),
+            )
+            done = max(
+                done,
+                controller.commit_log.flush_dirty(prepare_done, sync=True),
+            )
+            controller.refs.on_tx_begin(tx_id)  # known to refs even if idle
+            controller.refs.on_tx_commit(tx_id)
+            commit_done = max(commit_done, done + _COMMIT_MESSAGE_NS)
+        self.two_phase_commits += 1
+        return commit_done
+
+    # -- hierarchy delegation ----------------------------------------------------
+
+    def fill_line(self, line_addr: int, now_ns: float) -> Tuple[bytes, float]:
+        return self.controllers[self._owner(line_addr)].fill_line(
+            line_addr, now_ns
+        )
+
+    def on_evict(
+        self,
+        line_addr: int,
+        data: bytes,
+        dirty: bool,
+        persistent: bool,
+        tx_id: int,
+        now_ns: float,
+    ) -> None:
+        self.controllers[self._owner(line_addr)].on_evict(
+            line_addr, data, dirty, persistent, tx_id, now_ns
+        )
+
+    # -- background / crash / recovery --------------------------------------------
+
+    def tick(self, now_ns: float) -> None:
+        for controller in self.controllers:
+            controller.tick(now_ns)
+
+    def quiesce(self, now_ns: float) -> float:
+        for controller in self.controllers:
+            now_ns = max(now_ns, controller.quiesce(now_ns))
+        return now_ns
+
+    def crash(self) -> None:
+        self._participants.clear()
+        for controller in self.controllers:
+            controller.crash()
+
+    def recover(
+        self,
+        *,
+        threads: int = 1,
+        bandwidth_gb_per_s: Optional[float] = None,
+    ) -> RecoveryReport:
+        """Consensus recovery: replay only globally-committed txns."""
+        # Phase 1: each controller reads its commit log from NVM.
+        local_sets = []
+        for controller in self.controllers:
+            controller.region.rebuild_from_nvm()
+            pages = self._read_pages(controller)
+            controller.commit_log.rebuild(pages)
+            local_sets.append(
+                {
+                    tx.tx_id
+                    for tx in controller.commit_log.committed_transactions()
+                }
+            )
+        agreed = set.intersection(*local_sets) if local_sets else set()
+        # Phase 2: every controller replays exactly the agreed set.
+        merged = RecoveryReport(
+            threads=threads,
+            bandwidth_gb_per_s=(
+                bandwidth_gb_per_s or self.config.nvm.bandwidth_gb_per_s
+            ),
+        )
+        replayed = set()
+        for controller in self.controllers:
+            report = controller.recovery.recover(
+                threads=threads,
+                bandwidth_gb_per_s=bandwidth_gb_per_s,
+                require_entries=True,
+                only_tx_ids=agreed,
+            )
+            controller.mapping.clear()
+            controller.eviction_buffer.clear()
+            controller.refs.clear()
+            merged.words_recovered += report.words_recovered
+            merged.bytes_scanned += report.bytes_scanned
+            merged.bytes_written += report.bytes_written
+            merged.slices_walked += report.slices_walked
+            merged.scan_time_ns = max(
+                merged.scan_time_ns, report.scan_time_ns
+            )
+            merged.merge_time_ns = max(
+                merged.merge_time_ns, report.merge_time_ns
+            )
+            merged.write_time_ns = max(
+                merged.write_time_ns, report.write_time_ns
+            )
+            replayed |= agreed
+        merged.committed_transactions = len(agreed)
+        return merged
+
+    def _read_pages(self, controller: HoopController):
+        from repro.common.errors import CorruptionError
+        from repro.core.oop_region import BlockState
+        from repro.core.slices import KIND_ADDR, SLICE_BYTES, SliceCodec
+
+        pages = []
+        region = controller.region
+        for block in range(region.num_blocks):
+            if (
+                region.state_of(block) == BlockState.UNUSED
+                or region.stream_of(block) != "addr"
+            ):
+                continue
+            for slice_index in region.iter_block_slices(block):
+                raw = self.device.peek(
+                    region.slice_addr(slice_index), SLICE_BYTES
+                )
+                if SliceCodec.kind_of(raw) != KIND_ADDR:
+                    continue
+                try:
+                    pages.append(
+                        (slice_index, controller.codec.decode_addr(raw))
+                    )
+                except CorruptionError:
+                    continue
+        return pages

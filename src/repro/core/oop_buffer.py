@@ -1,0 +1,224 @@
+"""The per-core OOP data buffer and data packing (§III-C, Fig. 3).
+
+Every transactional store sends its modified word (plus home address) to
+the issuing core's buffer entry.  The buffer:
+
+* tracks updates at **word granularity** and deduplicates repeated updates
+  to the same word within a transaction ("multiple updates in the same
+  cache line ... packed in the same memory slice");
+* **packs** eight words and their metadata into one 128-byte memory slice
+  and writes it to the OOP region asynchronously as soon as it fills;
+* flushes the remainder synchronously at ``Tx_end``;
+* keeps the mapping table pointed at the newest durable-or-buffered
+  location of every word, so loads can be served from the buffer itself
+  ("the OOP address stored in the mapping table can either point to a
+  location in the OOP data buffer, or an OOP block in NVM").
+
+The 1 KB-per-core budget bounds pending words at 64; the packing threshold
+of eight keeps the live population far below that, and the bound is
+asserted rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import CapacityError, TransactionError
+from repro.core.mapping_table import MappingTable, OOPLocation
+from repro.core.oop_region import OOPRegion
+from repro.core.slices import (
+    MAX_PREV_DELTA,
+    STATE_LAST,
+    STATE_OPEN,
+    DataSlice,
+    SliceCodec,
+)
+
+
+@dataclass
+class _PendingWord:
+    value: bytes
+    seq: int
+
+
+@dataclass
+class _CoreEntry:
+    """Volatile per-core buffer state for the transaction in flight."""
+
+    tx_id: Optional[int] = None
+    pending: Dict[int, _PendingWord] = field(default_factory=dict)
+    last_slice: Optional[int] = None  # tail of the current chain segment
+    segment_open: bool = False  # a slice has been written in this segment
+    segments: List[int] = field(default_factory=list)  # closed segment tails
+    words_flushed: int = 0
+
+
+@dataclass
+class BufferStats:
+    words_buffered: int = 0
+    words_deduped: int = 0
+    slices_written: int = 0
+    sync_slices: int = 0
+    segment_splits: int = 0
+
+
+class OOPDataBuffer:
+    """All cores' OOP data buffer entries plus the packing logic."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        region: OOPRegion,
+        codec: SliceCodec,
+        mapping: MappingTable,
+        on_slice_written=None,
+    ) -> None:
+        self.config = config
+        self.region = region
+        self.codec = codec
+        self.mapping = mapping
+        self._on_slice_written = on_slice_written
+        self._cores = [_CoreEntry() for _ in range(config.num_cores)]
+        # 16 bytes of SRAM per pending word: 8 B data + 8 B home address.
+        self.capacity_words = config.hoop.oop_buffer_bytes_per_core // 16
+        self.stats = BufferStats()
+        self._total_slices = region.num_blocks * region.slots_per_block
+
+    # -- transaction lifecycle ------------------------------------------------
+
+    def begin(self, core: int, tx_id: int) -> None:
+        entry = self._cores[core]
+        if entry.tx_id is not None:
+            raise TransactionError(
+                f"core {core} already has transaction {entry.tx_id} open"
+            )
+        self._cores[core] = _CoreEntry(tx_id=tx_id)
+
+    def add_word(
+        self, core: int, word_addr: int, value: bytes, seq: int, now_ns: float
+    ) -> None:
+        """Stage one updated word; packs and flushes when a slice fills."""
+        entry = self._cores[core]
+        if entry.tx_id is None:
+            raise TransactionError(f"core {core} has no open transaction")
+        if word_addr in entry.pending:
+            self.stats.words_deduped += 1
+        else:
+            if len(entry.pending) >= self.capacity_words:
+                raise CapacityError(
+                    f"OOP data buffer overflow on core {core}"
+                )
+            self.stats.words_buffered += 1
+        entry.pending[word_addr] = _PendingWord(value, seq)
+        self.mapping.record(
+            word_addr,
+            OOPLocation(
+                in_buffer=True,
+                slice_index=core,
+                word_slot=0,
+                seq=seq,
+                tx_id=entry.tx_id,
+            ),
+        )
+        # Hold the buffer until it *overflows* a slice: the commit point is
+        # the synchronous persist of a STATE_LAST slice at Tx_end, so every
+        # transaction must end with at least one word still pending.
+        if len(entry.pending) > self.codec.words_per_slice:
+            self._flush_slice(core, now_ns, sync=False, last=False)
+
+    def tx_end(self, core: int, now_ns: float) -> Tuple[List[int], float]:
+        """Flush remaining words synchronously; returns (segment tails, t).
+
+        The returned tails are the chain segments the commit log must
+        record (all but the final one as uncommitted continuation entries).
+        An empty list means the transaction wrote nothing.
+        """
+        entry = self._cores[core]
+        if entry.tx_id is None:
+            raise TransactionError(f"core {core} has no open transaction")
+        completion = now_ns
+        while entry.pending:
+            last = len(entry.pending) <= self.codec.words_per_slice
+            completion = self._flush_slice(core, now_ns, sync=True, last=last)
+        segments = list(entry.segments)
+        if entry.last_slice is not None:
+            segments.append(entry.last_slice)
+        self._cores[core] = _CoreEntry()
+        return segments, completion
+
+    # -- reads ------------------------------------------------------------------
+
+    def buffered_word(self, core: int, word_addr: int) -> Optional[bytes]:
+        """Value of a word still sitting in a core's buffer, if any."""
+        pending = self._cores[core].pending.get(word_addr)
+        return pending.value if pending is not None else None
+
+    def open_tx(self, core: int) -> Optional[int]:
+        return self._cores[core].tx_id
+
+    def pending_count(self, core: int) -> int:
+        return len(self._cores[core].pending)
+
+    # -- packing -------------------------------------------------------------
+
+    def _flush_slice(
+        self, core: int, now_ns: float, *, sync: bool, last: bool
+    ) -> float:
+        entry = self._cores[core]
+        assert entry.tx_id is not None and entry.pending
+        words = list(entry.pending.items())[: self.codec.words_per_slice]
+        slice_index = self.region.allocate_slice(now_ns, stream="data")
+        prev_delta: Optional[int] = None
+        if entry.segment_open:
+            assert entry.last_slice is not None
+            delta = (slice_index - entry.last_slice) % self._total_slices
+            if 0 < delta <= MAX_PREV_DELTA:
+                prev_delta = delta
+            else:
+                # Chain hop too far for the 24-bit field: close the segment
+                # and start a fresh one (recorded separately at commit).
+                entry.segments.append(entry.last_slice)
+                self.stats.segment_splits += 1
+        block, _ = self.region.slice_location(slice_index)
+        ds = DataSlice(
+            tx_id=entry.tx_id,
+            words=tuple(
+                (addr, pending.value) for addr, pending in words
+            ),
+            is_start=prev_delta is None,
+            prev_delta=prev_delta,
+            state=STATE_LAST if last else STATE_OPEN,
+            generation=self.region.generation_of(block),
+        )
+        raw = self.codec.encode_data(ds)
+        completion = self.region.write_slice(slice_index, raw, now_ns, sync=sync)
+        if self._on_slice_written is not None:
+            self._on_slice_written(entry.tx_id, slice_index)
+        for slot, (addr, pending) in enumerate(words):
+            self.mapping.relocate_buffered(
+                addr,
+                pending.seq,
+                OOPLocation(
+                    in_buffer=False,
+                    slice_index=slice_index,
+                    word_slot=slot,
+                    seq=pending.seq,
+                    tx_id=entry.tx_id,
+                ),
+            )
+            del entry.pending[addr]
+        entry.last_slice = slice_index
+        entry.segment_open = True
+        entry.words_flushed += len(words)
+        self.stats.slices_written += 1
+        if sync:
+            self.stats.sync_slices += 1
+        return completion
+
+    # -- crash lifecycle ------------------------------------------------------
+
+    def crash(self) -> None:
+        """All buffered (uncommitted) words are lost with power."""
+        self._cores = [_CoreEntry() for _ in range(self.config.num_cores)]

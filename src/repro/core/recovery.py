@@ -1,0 +1,288 @@
+"""Post-crash data recovery (paper §III-F, Fig. 11).
+
+Recovery replays the OOP region onto the home region:
+
+1. read the headers of every touched block and the pages of every
+   commit-log (address-slice) block;
+2. sort committed, unretired transactions in commit order and deal them
+   round-robin to ``threads`` recovery workers;
+3. each worker walks its transactions' slice chains and keeps, per home
+   word, the value with the largest commit sequence (its *local hash set*);
+4. a master merge folds the local sets, newest commit wins;
+5. the merged set is split back across workers, which write the words home
+   and flush;
+6. the mapping table, eviction buffer, and OOP region are cleared.
+
+The byte-level work is performed functionally (the home region really is
+restored, and tests verify it equals the committed-transaction oracle).
+The reported *time* comes from an analytic model of the same quantities
+the implementation just measured: bytes scanned and written, thread count,
+and NVM bandwidth — each thread is latency-bound at one outstanding slice
+read, and aggregate throughput is capped by the channel.  That produces
+Fig. 11's two behaviours: time falls linearly with bandwidth, and thread
+scaling saturates once ``threads × per-thread rate`` exceeds the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.addr import cache_line_base
+from repro.common.config import SystemConfig
+from repro.common.errors import CorruptionError
+from repro.common.units import bytes_per_ns_from_gbps
+from repro.core.commit_log import CommitLog, CommittedTx
+from repro.core.oop_region import BlockState, OOPRegion
+from repro.core.slices import SLICE_BYTES, KIND_ADDR, SliceCodec
+from repro.memctrl.port import MemoryPort
+
+
+@dataclass
+class RecoveryReport:
+    """Everything a recovery pass did and how long the model says it took."""
+
+    threads: int
+    bandwidth_gb_per_s: float
+    committed_transactions: int = 0
+    words_recovered: int = 0
+    bytes_scanned: int = 0
+    bytes_written: int = 0
+    slices_walked: int = 0
+    scan_time_ns: float = 0.0
+    merge_time_ns: float = 0.0
+    write_time_ns: float = 0.0
+    per_thread_txs: List[int] = field(default_factory=list)
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.scan_time_ns + self.merge_time_ns + self.write_time_ns
+
+
+class RecoveryManager:
+    """Rebuilds a consistent home region from the OOP region."""
+
+    # Cost of one hash-map fold step.  Local inserts overlap the scan;
+    # the master fold is bucket-partitioned across the recovery threads
+    # (each worker folds a hash range), so it divides by the thread count.
+    _MERGE_NS_PER_WORD = 3.0
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        region: OOPRegion,
+        codec: SliceCodec,
+        commit_log: CommitLog,
+        port: MemoryPort,
+    ) -> None:
+        self.config = config
+        self.region = region
+        self.codec = codec
+        self.commit_log = commit_log
+        self.port = port
+
+    # -- the functional pass ---------------------------------------------------
+
+    def recover(
+        self,
+        *,
+        threads: int = 1,
+        bandwidth_gb_per_s: Optional[float] = None,
+        clear_region: bool = True,
+        require_entries: bool = False,
+        only_tx_ids: Optional[set] = None,
+    ) -> RecoveryReport:
+        """Replay committed transactions onto the home region.
+
+        ``require_entries`` disables the STATE_LAST region scan, trusting
+        only durable commit-log entries — the multi-controller protocol,
+        where a locally-final slice may belong to a globally-unresolved
+        two-phase commit.  ``only_tx_ids`` further restricts replay to a
+        caller-approved set (the coordinator's intersection).
+        """
+        if threads < 1:
+            raise ValueError("recovery needs at least one thread")
+        bandwidth = bandwidth_gb_per_s or self.config.nvm.bandwidth_gb_per_s
+        report = RecoveryReport(threads=threads, bandwidth_gb_per_s=bandwidth)
+        device = self.port.device
+
+        # Step 1: block headers, then commit-log pages.
+        self.region.rebuild_from_nvm()
+        busy_blocks = [
+            b
+            for b in range(self.region.num_blocks)
+            if self.region.state_of(b) != BlockState.UNUSED
+        ]
+        report.bytes_scanned += len(busy_blocks) * SLICE_BYTES  # headers
+        pages = []
+        for block in busy_blocks:
+            if self.region.stream_of(block) != "addr":
+                continue
+            for slice_index in self.region.iter_block_slices(block):
+                raw = device.peek(
+                    self.region.slice_addr(slice_index), SLICE_BYTES
+                )
+                report.bytes_scanned += SLICE_BYTES
+                if SliceCodec.kind_of(raw) != KIND_ADDR:
+                    continue
+                try:
+                    pages.append((slice_index, self.codec.decode_addr(raw)))
+                except CorruptionError:
+                    continue  # torn commit-log rewrite: newest entry lost
+        self.commit_log.rebuild(pages)
+        committed = list(self.commit_log.committed_transactions())
+
+        # Commit entries are written lazily (the commit point is the
+        # STATE_LAST data slice), so recent transactions may exist only in
+        # the region itself: scan the data blocks for STATE_LAST slices of
+        # transactions no page knows about, skipping anything at or below
+        # the durable retire watermark and anything from a stale block
+        # generation.
+        from repro.core.gc import RETIRE_WATERMARK_ADDR
+        from repro.core.slices import KIND_DATA, STATE_LAST
+
+        watermark = int.from_bytes(
+            device.peek(RETIRE_WATERMARK_ADDR, 8), "little"
+        )
+        finalized = {tx.tx_id for tx in committed}
+        known = self.commit_log.known_tx_ids()
+        open_segments = self.commit_log.open_segments()
+        scan_blocks = [] if require_entries else busy_blocks
+        for block in scan_blocks:
+            if self.region.stream_of(block) != "data":
+                continue
+            generation = self.region.generation_of(block)
+            for slice_index in self.region.iter_block_slices(block):
+                raw = device.peek(
+                    self.region.slice_addr(slice_index), SLICE_BYTES
+                )
+                report.bytes_scanned += SLICE_BYTES
+                if SliceCodec.kind_of(raw) != KIND_DATA:
+                    continue
+                try:
+                    ds = self.codec.decode_data(raw)
+                except CorruptionError:
+                    continue
+                if (
+                    ds.state != STATE_LAST
+                    or ds.generation != generation
+                    or ds.tx_id <= watermark
+                    or ds.tx_id in finalized
+                ):
+                    continue
+                segments = open_segments.get(ds.tx_id, []) + [slice_index]
+                committed.append(
+                    CommittedTx(ds.tx_id, tuple(segments))
+                )
+                finalized.add(ds.tx_id)
+
+        # Replay in TxID order — the paper's commit-ID rule (§III-F);
+        # conflicting transactions never overlap, so TxID order is commit
+        # order.
+        if only_tx_ids is not None:
+            committed = [tx for tx in committed if tx.tx_id in only_tx_ids]
+        committed.sort(key=lambda tx: tx.tx_id)
+        report.committed_transactions = len(committed)
+
+        # Steps 2-3: deal transactions round-robin; per-thread local sets.
+        shards: List[Dict[int, Tuple[int, bytes]]] = [
+            {} for _ in range(threads)
+        ]
+        report.per_thread_txs = [0] * threads
+        for seq, tx in enumerate(committed):
+            worker = seq % threads
+            report.per_thread_txs[worker] += 1
+            words, scanned = self._walk_tx(tx)
+            report.slices_walked += scanned
+            report.bytes_scanned += scanned * SLICE_BYTES
+            local = shards[worker]
+            for addr, value in words:
+                current = local.get(addr)
+                # <= so a transaction's own later write to the same word
+                # supersedes its earlier one (words arrive oldest-first).
+                if current is None or current[0] <= seq:
+                    local[addr] = (seq, value)
+
+        # Step 4: master merge, newest commit sequence wins.
+        merged: Dict[int, Tuple[int, bytes]] = {}
+        merge_ops = 0
+        for local in shards:
+            for addr, (seq, value) in local.items():
+                merge_ops += 1
+                current = merged.get(addr)
+                if current is None or current[0] < seq:
+                    merged[addr] = (seq, value)
+
+        # Step 5: split the merged set and write home.
+        for addr in sorted(merged):
+            _, value = merged[addr]
+            device.poke(addr, value)
+        report.words_recovered = len(merged)
+        report.bytes_written = len(merged) * 8
+
+        # Step 6: volatile structures and the OOP region are cleared.
+        if clear_region:
+            self.region.clear(0.0)
+            self.commit_log.clear()
+
+        self._apply_time_model(report, merge_ops)
+        return report
+
+    def _walk_tx(self, tx: CommittedTx) -> Tuple[List[Tuple[int, bytes]], int]:
+        """All words of a transaction in store order (oldest first)."""
+        device = self.port.device
+        total = self.region.num_blocks * self.region.slots_per_block
+        newest_first: List[Tuple[int, bytes]] = []
+        slices = 0
+        for tail in reversed(tx.segment_tails):
+            cursor: Optional[int] = tail
+            while cursor is not None:
+                raw = device.peek(self.region.slice_addr(cursor), SLICE_BYTES)
+                slices += 1
+                try:
+                    ds = self.codec.decode_data(raw)
+                except CorruptionError:
+                    break
+                block, _ = self.region.slice_location(cursor)
+                if (
+                    ds.tx_id != tx.tx_id
+                    or ds.generation != self.region.generation_of(block)
+                ):
+                    break
+                for slot in range(len(ds.words) - 1, -1, -1):
+                    newest_first.append(ds.words[slot])
+                cursor = (
+                    None
+                    if ds.prev_delta is None
+                    else (cursor - ds.prev_delta) % total
+                )
+        newest_first.reverse()
+        return newest_first, slices
+
+    # -- the timing model ---------------------------------------------------------
+
+    def _apply_time_model(self, report: RecoveryReport, merge_ops: int) -> None:
+        nvm = self.config.nvm
+        bw = bytes_per_ns_from_gbps(report.bandwidth_gb_per_s)
+        threads = report.threads
+
+        # Scan: each thread keeps one slice read outstanding; a read costs
+        # device latency plus its transfer.  Aggregate capped by channel.
+        per_thread_read = SLICE_BYTES / (
+            nvm.read_latency_ns + SLICE_BYTES / bw
+        )
+        scan_rate = min(bw, threads * per_thread_read)
+        report.scan_time_ns = report.bytes_scanned / scan_rate
+
+        # Merge: local inserts happen during the scan; the fold over the
+        # surviving entries is partitioned by hash bucket across threads.
+        report.merge_time_ns = (
+            merge_ops * self._MERGE_NS_PER_WORD / threads
+        )
+
+        # Write-back: threads stream line-sized flushes in parallel.
+        line = 64
+        per_thread_write = line / (nvm.write_latency_ns + line / bw)
+        write_rate = min(bw, threads * per_thread_write)
+        if report.bytes_written:
+            report.write_time_ns = report.bytes_written / write_rate

@@ -1,0 +1,334 @@
+"""Memory-slice codecs (paper Fig. 5).
+
+Every 128-byte slice in the OOP region is one of:
+
+* a **data memory slice** — up to eight 8-byte words of transactional
+  updates plus 64 bytes of metadata: per-word home addresses (40-bit word
+  indexes by default), a 24-bit next-slice offset linking the transaction's
+  chain, a 32-bit TxID, a start-of-transaction bit, a 3-bit word count, and
+  a 4-bit state flag (Fig. 5b);
+
+* an **address memory slice** — the commit log: a packed array of
+  ``(TxID, start-slice, retired)`` entries.  Persisting a transaction's
+  entry is HOOP's commit point; the retired bit is set by GC after the
+  transaction's updates have been migrated home.
+
+The last byte of every slice is a kind tag shared by both layouts so block
+scans (GC, recovery) can classify slices without context.  A 16-bit
+checksum over each slice's payload detects torn or stray writes — the paper
+relies on slice-granularity write atomicity ("two consecutive memory
+bursts"); the checksum is our functional-simulation equivalent, letting
+recovery reject partially-persisted metadata instead of trusting it.
+
+Variable packing (Section III-C): for home regions larger than 2^40 words
+the per-word address field widens and the packing degree N drops below
+eight; :meth:`SliceCodec.for_home_bits` computes N from the metadata budget
+exactly as the paper describes (1 PB still fits seven updates in two cache
+lines).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.bitfield import BitStruct, Field, pack_uint_list, unpack_uint_list
+from repro.common.errors import CorruptionError
+
+SLICE_BYTES = 128
+WORD_BYTES = 8
+
+# Slice kind tags (the shared last byte, low nibble = kind).
+KIND_FREE = 0x0
+KIND_DATA = 0x1
+KIND_ADDR = 0x2
+
+# 4-bit data-slice state flag values (Fig. 5b "Flag").
+STATE_OPEN = 0x1  # written during transaction execution
+STATE_LAST = 0x2  # the final slice of its transaction
+
+_NEXT_OFFSET_BITS = 24
+_NO_NEXT = (1 << _NEXT_OFFSET_BITS) - 1  # sentinel: end of chain segment
+MAX_PREV_DELTA = _NO_NEXT - 1  # largest chain hop the 24-bit field encodes
+
+_TXID_BITS = 32
+_CHECKSUM_BITS = 16
+
+
+def _checksum(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class DataSlice:
+    """Decoded data memory slice: the words of one packing unit.
+
+    ``prev_delta`` is the Fig. 5b 24-bit "Next Slice" offset field.  We
+    link chains *backwards* (each slice names its predecessor, which is
+    known at write time, while a forward pointer would force rewriting the
+    previous slice); Fig. 5a draws both prev and next links, and GC and
+    recovery walk transactions newest-first anyway (Algorithm 1 line 7).
+    The stored value is ``(this_index - prev_index) mod total_slices``;
+    ``None`` marks the first slice of a chain segment.
+    """
+
+    tx_id: int
+    words: Tuple[Tuple[int, bytes], ...]  # (home word address, 8-byte value)
+    is_start: bool = False
+    prev_delta: Optional[int] = None
+    state: int = STATE_OPEN
+    # Reuse generation of the block the slice was written into.  A block
+    # reclaim bumps the generation, so stale slices surviving from before
+    # the reclaim can never be mistaken for live ones by recovery scans.
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        for addr, value in self.words:
+            if addr % WORD_BYTES != 0:
+                raise ValueError(f"home address {addr:#x} not word aligned")
+            if len(value) != WORD_BYTES:
+                raise ValueError("each packed word must be exactly 8 bytes")
+
+    @property
+    def count(self) -> int:
+        return len(self.words)
+
+    @property
+    def home_addresses(self) -> List[int]:
+        return [addr for addr, _ in self.words]
+
+
+@dataclass(frozen=True)
+class AddressSliceEntry:
+    """One chain segment in the commit log.
+
+    A transaction normally produces a single entry whose ``tail_slice``
+    points at its last data slice and whose ``committed`` bit is set at
+    Tx_end.  When a prev-link delta cannot fit the 24-bit offset field
+    (a chain hop across distant reused blocks), the controller closes the
+    segment with an uncommitted entry and starts a new one; only the final
+    entry carries ``committed``.  Recovery and GC replay a transaction iff
+    its committed entry is durable.
+    """
+
+    tx_id: int
+    tail_slice: int  # region slice index of the segment's last data slice
+    committed: bool = True
+    retired: bool = False
+
+
+@dataclass
+class AddressSlice:
+    """Decoded address memory slice (a page of the commit log)."""
+
+    entries: List[AddressSliceEntry] = field(default_factory=list)
+    sequence: int = 0  # commit-log page number, for recovery ordering
+
+
+class SliceCodec:
+    """Encode/decode slices for a given home-address width.
+
+    The metadata half of a data slice has ``SLICE_BYTES - words*8`` bytes.
+    Fixed fields cost 24 (next) + 32 (TxID) + 1 (start) + 3 (count) +
+    4 (state) + 16 (checksum) = 80 bits plus the 8-bit kind tag; the
+    remaining bits hold ``words`` home addresses of ``home_addr_bits``
+    each.  ``for_home_bits`` picks the largest ``words <= 8`` that fits.
+    """
+
+    _FIXED_META_BITS = 88
+    _TAG_BITS = 8
+
+    def __init__(self, home_addr_bits: int = 40, words_per_slice: int = 8) -> None:
+        if not 8 <= home_addr_bits <= 64:
+            raise ValueError("home_addr_bits must be 8..64")
+        if not 1 <= words_per_slice <= 8:
+            raise ValueError("words_per_slice must be 1..8")
+        needed_bits = (
+            words_per_slice * 8 * 8  # data words
+            + words_per_slice * home_addr_bits
+            + self._FIXED_META_BITS
+            + self._TAG_BITS
+        )
+        if needed_bits > SLICE_BYTES * 8:
+            raise ValueError(
+                f"{words_per_slice} words at {home_addr_bits}-bit addresses "
+                f"need {needed_bits} bits; a slice has {SLICE_BYTES * 8}"
+            )
+        self.home_addr_bits = home_addr_bits
+        self.words_per_slice = words_per_slice
+        self._data_bytes = words_per_slice * 8
+        self._addr_vec_bytes = (words_per_slice * home_addr_bits + 7) // 8
+        meta_fields = [
+            Field("next_offset", _NEXT_OFFSET_BITS),
+            Field("tx_id", _TXID_BITS),
+            Field("start", 1),
+            Field("count", 3),
+            Field("state", 4),
+            Field("generation", 8),
+            Field("checksum", _CHECKSUM_BITS),
+        ]
+        meta_bytes = SLICE_BYTES - self._data_bytes - self._addr_vec_bytes - 1
+        self._meta = BitStruct(meta_fields, total_bytes=meta_bytes)
+        # Address-slice layout: header (sequence 32b, count 8b,
+        # checksum 16b) then entries of (tx_id 32b, tail 34b, committed 1b,
+        # retired 1b).
+        self._addr_header = BitStruct(
+            [Field("sequence", 32), Field("count", 8), Field("checksum", 16)],
+            total_bytes=7,
+        )
+        self._entry_bits = _TXID_BITS + 34 + 2
+        payload_bits = (SLICE_BYTES - 1 - 7) * 8
+        self.entries_per_addr_slice = payload_bits // self._entry_bits
+
+    @classmethod
+    def for_home_bits(cls, home_addr_bits: int) -> "SliceCodec":
+        """Maximum-packing codec for a given home-address width."""
+        budget = SLICE_BYTES * 8 - cls._FIXED_META_BITS - cls._TAG_BITS
+        words = min(8, budget // (64 + home_addr_bits))
+        if words < 1:
+            raise ValueError(f"no packing possible at {home_addr_bits} bits")
+        return cls(home_addr_bits, words)
+
+    # -- data slices -----------------------------------------------------------
+
+    def encode_data(self, ds: DataSlice) -> bytes:
+        """Encode a data slice into 128 bytes."""
+        if not 1 <= ds.count <= self.words_per_slice:
+            raise ValueError(
+                f"slice holds 1..{self.words_per_slice} words, got {ds.count}"
+            )
+        data = bytearray(self._data_bytes)
+        addrs = []
+        addr_limit = 1 << self.home_addr_bits
+        for i, (addr, value) in enumerate(ds.words):
+            word_index = addr // WORD_BYTES
+            if word_index >= addr_limit:
+                raise ValueError(
+                    f"home address {addr:#x} exceeds {self.home_addr_bits}-bit"
+                    " word index"
+                )
+            data[i * 8 : (i + 1) * 8] = value
+            addrs.append(word_index)
+        addrs += [0] * (self.words_per_slice - len(addrs))
+        addr_vec = pack_uint_list(
+            addrs, self.home_addr_bits, self._addr_vec_bytes
+        )
+        next_offset = _NO_NEXT if ds.prev_delta is None else ds.prev_delta
+        if not 0 <= next_offset <= _NO_NEXT:
+            raise ValueError(f"prev delta {ds.prev_delta} exceeds 24 bits")
+        body = {
+            "next_offset": next_offset,
+            "tx_id": ds.tx_id,
+            "start": 1 if ds.is_start else 0,
+            "count": ds.count - 1,
+            "state": ds.state,
+            "generation": ds.generation & 0xFF,
+            "checksum": 0,
+        }
+        payload = bytes(data) + addr_vec
+        body["checksum"] = _checksum(payload + self._meta.pack(body))
+        raw = payload + self._meta.pack(body) + bytes([KIND_DATA])
+        assert len(raw) == SLICE_BYTES
+        return raw
+
+    def decode_data(self, raw: bytes) -> DataSlice:
+        """Decode 128 bytes into a data slice; raises on corruption."""
+        if len(raw) != SLICE_BYTES:
+            raise CorruptionError(f"slice must be {SLICE_BYTES} bytes")
+        if raw[-1] & 0xF != KIND_DATA:
+            raise CorruptionError("not a data memory slice")
+        data = raw[: self._data_bytes]
+        addr_vec = raw[self._data_bytes : self._data_bytes + self._addr_vec_bytes]
+        meta_raw = raw[self._data_bytes + self._addr_vec_bytes : -1]
+        meta = self._meta.unpack(meta_raw)
+        stored_checksum = meta["checksum"]
+        check_meta = dict(meta, checksum=0)
+        expected = _checksum(data + addr_vec + self._meta.pack(check_meta))
+        if stored_checksum != expected:
+            raise CorruptionError("data slice checksum mismatch (torn write)")
+        count = meta["count"] + 1
+        word_indexes = unpack_uint_list(addr_vec, self.home_addr_bits, count)
+        words = tuple(
+            (word_indexes[i] * WORD_BYTES, bytes(data[i * 8 : (i + 1) * 8]))
+            for i in range(count)
+        )
+        next_offset = meta["next_offset"]
+        return DataSlice(
+            tx_id=meta["tx_id"],
+            words=words,
+            is_start=bool(meta["start"]),
+            prev_delta=None if next_offset == _NO_NEXT else next_offset,
+            state=meta["state"],
+            generation=meta["generation"],
+        )
+
+    # -- address slices -----------------------------------------------------------
+
+    def encode_addr(self, a: AddressSlice) -> bytes:
+        """Encode a commit-log page into 128 bytes."""
+        if len(a.entries) > self.entries_per_addr_slice:
+            raise ValueError(
+                f"address slice holds at most {self.entries_per_addr_slice}"
+                f" entries, got {len(a.entries)}"
+            )
+        acc = 0
+        for i, entry in enumerate(a.entries):
+            if entry.tail_slice >= (1 << 34):
+                raise ValueError("tail slice index exceeds 34 bits")
+            packed = (
+                entry.tx_id
+                | (entry.tail_slice << _TXID_BITS)
+                | ((1 if entry.committed else 0) << (_TXID_BITS + 34))
+                | ((1 if entry.retired else 0) << (_TXID_BITS + 35))
+            )
+            acc |= packed << (i * self._entry_bits)
+        payload = acc.to_bytes(SLICE_BYTES - 1 - 7, "little")
+        header = {
+            "sequence": a.sequence,
+            "count": len(a.entries),
+            "checksum": 0,
+        }
+        header["checksum"] = _checksum(payload + self._addr_header.pack(header))
+        raw = self._addr_header.pack(header) + payload + bytes([KIND_ADDR])
+        assert len(raw) == SLICE_BYTES
+        return raw
+
+    def decode_addr(self, raw: bytes) -> AddressSlice:
+        """Decode a commit-log page; raises on corruption."""
+        if len(raw) != SLICE_BYTES:
+            raise CorruptionError(f"slice must be {SLICE_BYTES} bytes")
+        if raw[-1] & 0xF != KIND_ADDR:
+            raise CorruptionError("not an address memory slice")
+        header_raw = raw[:7]
+        payload = raw[7:-1]
+        header = self._addr_header.unpack(header_raw)
+        check = dict(header, checksum=0)
+        if header["checksum"] != _checksum(payload + self._addr_header.pack(check)):
+            raise CorruptionError("address slice checksum mismatch")
+        count = header["count"]
+        if count > self.entries_per_addr_slice:
+            raise CorruptionError("address slice entry count out of range")
+        acc = int.from_bytes(payload, "little")
+        mask = (1 << self._entry_bits) - 1
+        entries = []
+        for i in range(count):
+            packed = (acc >> (i * self._entry_bits)) & mask
+            entries.append(
+                AddressSliceEntry(
+                    tx_id=packed & ((1 << _TXID_BITS) - 1),
+                    tail_slice=(packed >> _TXID_BITS) & ((1 << 34) - 1),
+                    committed=bool(packed >> (_TXID_BITS + 34) & 1),
+                    retired=bool(packed >> (_TXID_BITS + 35) & 1),
+                )
+            )
+        return AddressSlice(entries=entries, sequence=header["sequence"])
+
+    # -- classification -----------------------------------------------------------
+
+    @staticmethod
+    def kind_of(raw: bytes) -> int:
+        """Kind tag of a raw slice (KIND_FREE/KIND_DATA/KIND_ADDR)."""
+        if len(raw) != SLICE_BYTES:
+            raise CorruptionError(f"slice must be {SLICE_BYTES} bytes")
+        return raw[-1] & 0xF

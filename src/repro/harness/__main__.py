@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate every figure and table.
+
+Usage::
+
+    python -m repro.harness [--scale smoke|default|paper] [--only FIG ...]
+                            [--out DIR]
+
+Writes each figure's text rendering to ``<out>/<figure>.txt`` and prints
+them to stdout.  ``--only fig7a fig8`` restricts the set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.harness import experiments
+
+RUNNERS = {
+    "table1": lambda scale: experiments.run_table1(),
+    "fig7a": experiments.run_figure7a,
+    "fig7b": experiments.run_figure7b,
+    "fig8": experiments.run_figure8,
+    "fig9": experiments.run_figure9,
+    "table4": experiments.run_table4,
+    "fig10": experiments.run_figure10,
+    "fig11": experiments.run_figure11,
+    "fig12": experiments.run_figure12,
+    "fig13": experiments.run_figure13,
+    "datasets": experiments.run_dataset_variants,
+    "threads": experiments.run_thread_scaling,
+    "regions": experiments.run_region_fraction_sweep,
+    "profile": experiments.run_read_profile,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the HOOP paper's figures and tables.",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(experiments.SCALES),
+        help="experiment size preset",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(RUNNERS),
+        help="subset of figures to run (default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="directory for the rendered text tables",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    names = args.only or list(RUNNERS)
+    for name in names:
+        start = time.time()
+        runner = RUNNERS[name]
+        figure = runner(args.scale) if name != "table1" else runner(None)
+        text = figure.render()
+        print(text)
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Memory-controller substrate.
+
+:class:`repro.memctrl.port.MemoryPort` is the single gateway schemes use to
+reach the NVM device.  It distinguishes *synchronous* persists (the caller's
+clock waits: flushes, ordering stalls, commit barriers) from *asynchronous*
+writes (write-queue absorbed: evictions, background GC, log truncation) —
+the distinction the paper's critical-path-vs-traffic analysis rests on.
+
+:mod:`repro.memctrl.scheduler` provides the periodic-task trigger used for
+GC cadence (10 ms default) and baseline checkpointing.
+"""
+
+from repro.memctrl.port import MemoryPort
+from repro.memctrl.scheduler import PeriodicTrigger
+
+__all__ = ["MemoryPort", "PeriodicTrigger"]

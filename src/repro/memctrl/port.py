@@ -1,0 +1,102 @@
+"""The memory port: synchronous vs asynchronous NVM access.
+
+Every crash-consistency scheme in the paper differs in *what it writes* and
+*what it waits for*.  The port makes that split explicit:
+
+``sync_write``
+    The caller's clock advances to completion (queue + device write
+    latency).  Used for undo-log-before-data ordering, eager shadow-paging
+    flushes, commit-record persists, and HOOP's Tx_end slice drain.
+
+``async_write``
+    The write occupies channel bandwidth and reaches the device content
+    immediately (it *will* become durable), but the caller does not wait.
+    Used for dirty evictions, redo-log appends behind a write queue,
+    checkpointing, and GC migration.  Asynchronous traffic still steals
+    bandwidth from synchronous operations — that is how heavy-logging
+    schemes lose throughput without necessarily losing latency.
+
+``read``
+    Timed read; the caller waits (reads are on the critical path for every
+    scheme).
+
+All byte counters for Fig. 8 (write traffic) come from the underlying
+:class:`~repro.nvm.device.NVMDevice` stats, so no scheme can under-report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.nvm.device import NVMDevice
+
+
+@dataclass
+class PortStats:
+    sync_writes: int = 0
+    async_writes: int = 0
+    reads: int = 0
+    sync_bytes: int = 0
+    async_bytes: int = 0
+    read_bytes: int = 0
+    sync_wait_ns: float = 0.0
+
+
+class MemoryPort:
+    """Gateway between a persistence scheme and the NVM device."""
+
+    def __init__(self, device: NVMDevice) -> None:
+        self.device = device
+        self.stats = PortStats()
+
+    # -- writes -------------------------------------------------------------
+
+    def sync_write(self, addr: int, data: bytes, now_ns: float) -> float:
+        """Persist ``data`` and wait; returns completion time."""
+        result = self.device.write(addr, data, now_ns, queued=False)
+        self.stats.sync_writes += 1
+        self.stats.sync_bytes += len(data)
+        self.stats.sync_wait_ns += result.latency_ns
+        return result.completion_ns
+
+    def async_write(self, addr: int, data: bytes, now_ns: float) -> float:
+        """Queue ``data`` for persistence without stalling the caller.
+
+        The content reaches the device immediately (the write queue is
+        modeled as draining in order before any later operation that the
+        caller *does* wait on), and the channel reservation charges the
+        bandwidth.  Returns the drain completion time for callers that want
+        to fence on it later.
+        """
+        result = self.device.write(addr, data, now_ns, queued=True)
+        self.stats.async_writes += 1
+        self.stats.async_bytes += len(data)
+        return result.completion_ns
+
+    def read(self, addr: int, size: int, now_ns: float) -> Tuple[bytes, float]:
+        """Timed read; returns ``(data, completion_ns)``."""
+        data, result = self.device.read(addr, size, now_ns)
+        self.stats.reads += 1
+        self.stats.read_bytes += size
+        return data, result.completion_ns
+
+    # -- fences ----------------------------------------------------------------
+
+    def drain(self, now_ns: float) -> float:
+        """Wait until every queued write is durable (sfence semantics)."""
+        drained = self.device.channel.drain(now_ns)
+        # The last queued write's device latency is still in flight after
+        # its channel transfer completes.
+        if drained > now_ns:
+            drained += self.device.config.write_latency_ns
+        return drained
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    @property
+    def bytes_written(self) -> int:
+        return self.stats.sync_bytes + self.stats.async_bytes
+
+    def reset_stats(self) -> None:
+        self.stats = PortStats()

@@ -1,0 +1,122 @@
+"""One set-associative, write-back, LRU cache level (tag store only).
+
+Data is kept by the hierarchy (once per line, at LLC scope); this class
+tracks presence, recency, and the per-line flag bits: ``dirty`` and the
+``persistent`` bit HOOP adds to mark lines modified inside a transaction
+(Section III-G).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.common.config import CacheConfig
+
+
+@dataclass
+class LineFlags:
+    """Per-line metadata bits."""
+
+    dirty: bool = False
+    persistent: bool = False
+    tx_id: int = 0
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line pushed out of a level by an insertion."""
+
+    line_addr: int
+    dirty: bool
+    persistent: bool
+    tx_id: int
+
+
+class CacheLevel:
+    """Tag store for one cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: Dict[int, "OrderedDict[int, LineFlags]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.config.line_size) % self.config.num_sets
+
+    def _set_for(self, line_addr: int) -> "OrderedDict[int, LineFlags]":
+        index = self._set_index(line_addr)
+        bucket = self._sets.get(index)
+        if bucket is None:
+            bucket = OrderedDict()
+            self._sets[index] = bucket
+        return bucket
+
+    def lookup(self, line_addr: int, *, touch: bool = True) -> Optional[LineFlags]:
+        """Probe for a line; refresh LRU recency when ``touch``."""
+        bucket = self._sets.get(self._set_index(line_addr))
+        if bucket is None or line_addr not in bucket:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            bucket.move_to_end(line_addr)
+        return bucket[line_addr]
+
+    def contains(self, line_addr: int) -> bool:
+        """Presence probe with no stats or recency side effects."""
+        bucket = self._sets.get(self._set_index(line_addr))
+        return bucket is not None and line_addr in bucket
+
+    def insert(self, line_addr: int, flags: Optional[LineFlags] = None) -> Optional[EvictedLine]:
+        """Insert (or refresh) a line; returns the LRU victim if one fell out."""
+        bucket = self._set_for(line_addr)
+        if line_addr in bucket:
+            bucket.move_to_end(line_addr)
+            if flags is not None:
+                bucket[line_addr] = flags
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(bucket) >= self.config.ways:
+            victim_addr, victim_flags = bucket.popitem(last=False)
+            victim = EvictedLine(
+                line_addr=victim_addr,
+                dirty=victim_flags.dirty,
+                persistent=victim_flags.persistent,
+                tx_id=victim_flags.tx_id,
+            )
+            self.evictions += 1
+        bucket[line_addr] = flags if flags is not None else LineFlags()
+        return victim
+
+    def invalidate(self, line_addr: int) -> Optional[LineFlags]:
+        """Drop a line (inclusive-hierarchy back-invalidation)."""
+        bucket = self._sets.get(self._set_index(line_addr))
+        if bucket is None:
+            return None
+        return bucket.pop(line_addr, None)
+
+    def iter_lines(self) -> Iterator[int]:
+        """All resident line addresses (test/inspection helper)."""
+        for bucket in self._sets.values():
+            yield from bucket.keys()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets.values())
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def clear(self) -> None:
+        self._sets.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

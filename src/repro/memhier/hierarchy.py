@@ -1,0 +1,262 @@
+"""The three-level cache hierarchy (per-core L1/L2, shared inclusive LLC).
+
+Design notes
+------------
+
+* **Single data copy.**  Line bytes live in one dict scoped to LLC
+  residency.  L1/L2 are presence/recency tag stores used only for latency;
+  dirty/persistent flags are kept on the LLC entry.  This collapses the
+  coherence problem (the paper relies on conventional coherence and so do
+  we) while preserving the two facts schemes care about: *which* lines are
+  volatile, and *what bytes* leave the hierarchy on an eviction.
+
+* **Inclusive LLC.**  An LLC eviction back-invalidates every core's L1/L2,
+  matching the inclusive configuration in Table II.
+
+* **Fill/evict delegation.**  On an LLC miss the active persistence scheme
+  supplies the line (home region, OOP region, log, or shadow copy — that is
+  the scheme's whole point); on a dirty eviction the scheme decides where
+  the bytes go.  The hierarchy never touches NVM itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.addr import CACHE_LINE_BYTES, cache_line_base
+from repro.common.config import SystemConfig
+from repro.common.errors import AddressError
+from repro.memhier.cache import CacheLevel, LineFlags
+
+# fill_handler(line_addr, now_ns) -> (line_bytes, extra_latency_ns)
+FillHandler = Callable[[int, float], Tuple[bytes, float]]
+# evict_handler(line_addr, data, dirty, persistent, tx_id, now_ns) -> None
+EvictHandler = Callable[[int, bytes, bool, bool, int, float], None]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Where an access hit and what it cost."""
+
+    hit_level: str  # "L1", "L2", "LLC", or "MEM"
+    latency_ns: float
+
+    @property
+    def llc_miss(self) -> bool:
+        return self.hit_level == "MEM"
+
+
+@dataclass
+class HierarchyStats:
+    loads: int = 0
+    stores: int = 0
+    llc_misses: int = 0
+    llc_accesses: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def llc_miss_ratio(self) -> float:
+        if not self.llc_accesses:
+            return 0.0
+        return self.llc_misses / self.llc_accesses
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 over a shared, inclusive LLC."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        fill_handler: FillHandler,
+        evict_handler: EvictHandler,
+    ) -> None:
+        self.config = config
+        self._fill = fill_handler
+        self._evict = evict_handler
+        self._l1 = [CacheLevel(config.l1) for _ in range(config.num_cores)]
+        self._l2 = [CacheLevel(config.l2) for _ in range(config.num_cores)]
+        self._llc = CacheLevel(config.llc)
+        self._data: Dict[int, bytearray] = {}
+        self.stats = HierarchyStats()
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.config.num_cores:
+            raise AddressError(f"core {core} out of range")
+
+    def _back_invalidate(self, line_addr: int) -> None:
+        for level in self._l1:
+            level.invalidate(line_addr)
+        for level in self._l2:
+            level.invalidate(line_addr)
+
+    def _evict_victim(self, victim, now_ns: float) -> None:
+        data = self._data.pop(victim.line_addr, None)
+        self._back_invalidate(victim.line_addr)
+        if data is None:
+            return
+        if victim.dirty:
+            self.stats.dirty_evictions += 1
+        self._evict(
+            victim.line_addr,
+            bytes(data),
+            victim.dirty,
+            victim.persistent,
+            victim.tx_id,
+            now_ns,
+        )
+
+    def _ensure_resident(
+        self, core: int, line_addr: int, now_ns: float
+    ) -> Tuple[str, float]:
+        """Bring a line into L1/L2/LLC; returns (hit level, latency)."""
+        cfg = self.config
+        latency = cfg.l1.latency_ns
+        if self._l1[core].lookup(line_addr) is not None:
+            return "L1", latency
+        latency += cfg.l2.latency_ns
+        if self._l2[core].lookup(line_addr) is not None:
+            self._l1[core].insert(line_addr)
+            return "L2", latency
+        latency += cfg.llc.latency_ns
+        self.stats.llc_accesses += 1
+        if self._llc.lookup(line_addr) is not None:
+            self._l2[core].insert(line_addr)
+            self._l1[core].insert(line_addr)
+            return "LLC", latency
+        # LLC miss: the scheme supplies the line.
+        self.stats.llc_misses += 1
+        data, extra = self._fill(line_addr, now_ns)
+        if len(data) != CACHE_LINE_BYTES:
+            raise AddressError(
+                f"fill handler returned {len(data)} bytes for a line"
+            )
+        victim = self._llc.insert(line_addr, LineFlags())
+        if victim is not None:
+            self._evict_victim(victim, now_ns)
+        self._data[line_addr] = bytearray(data)
+        self._l2[core].insert(line_addr)
+        self._l1[core].insert(line_addr)
+        return "MEM", latency + extra
+
+    # -- public API ------------------------------------------------------------
+
+    def load(
+        self, core: int, addr: int, size: int, now_ns: float = 0.0
+    ) -> Tuple[bytes, AccessOutcome]:
+        """Read ``size`` bytes within one cache line."""
+        self._check_core(core)
+        line = cache_line_base(addr)
+        if cache_line_base(addr + size - 1) != line:
+            raise AddressError("load must not cross a cache-line boundary")
+        self.stats.loads += 1
+        level, latency = self._ensure_resident(core, line, now_ns)
+        offset = addr - line
+        data = bytes(self._data[line][offset : offset + size])
+        return data, AccessOutcome(level, latency)
+
+    def store(
+        self,
+        core: int,
+        addr: int,
+        data: bytes,
+        now_ns: float = 0.0,
+        *,
+        persistent: bool = False,
+        tx_id: int = 0,
+    ) -> AccessOutcome:
+        """Write bytes within one cache line (write-allocate)."""
+        self._check_core(core)
+        if not data:
+            raise AddressError("empty store")
+        line = cache_line_base(addr)
+        if cache_line_base(addr + len(data) - 1) != line:
+            raise AddressError("store must not cross a cache-line boundary")
+        self.stats.stores += 1
+        level, latency = self._ensure_resident(core, line, now_ns)
+        offset = addr - line
+        self._data[line][offset : offset + len(data)] = data
+        flags = self._llc.lookup(line, touch=False)
+        assert flags is not None, "line must be LLC-resident after fill"
+        flags.dirty = True
+        if persistent:
+            flags.persistent = True
+            flags.tx_id = tx_id
+        return AccessOutcome(level, latency)
+
+    def peek_line(self, line_addr: int) -> Optional[bytes]:
+        """Current cached bytes of a line, or None if not resident."""
+        data = self._data.get(cache_line_base(line_addr))
+        return bytes(data) if data is not None else None
+
+    def is_resident(self, line_addr: int) -> bool:
+        return cache_line_base(line_addr) in self._data
+
+    def line_flags(self, line_addr: int) -> Optional[LineFlags]:
+        return self._llc.lookup(cache_line_base(line_addr), touch=False)
+
+    def writeback_line(self, line_addr: int, now_ns: float = 0.0) -> bool:
+        """clwb-style: push a dirty line to the scheme, keep it cached clean.
+
+        Returns True when a writeback actually happened.
+        """
+        line = cache_line_base(line_addr)
+        flags = self._llc.lookup(line, touch=False)
+        if flags is None or not flags.dirty:
+            return False
+        self._evict(
+            line,
+            bytes(self._data[line]),
+            True,
+            flags.persistent,
+            flags.tx_id,
+            now_ns,
+        )
+        flags.dirty = False
+        return True
+
+    def flush_line(self, line_addr: int, now_ns: float = 0.0) -> bool:
+        """clflush-style: write back if dirty, then invalidate everywhere."""
+        line = cache_line_base(line_addr)
+        flags = self._llc.invalidate(line)
+        data = self._data.pop(line, None)
+        self._back_invalidate(line)
+        if flags is None or data is None:
+            return False
+        if flags.dirty:
+            self._evict(
+                line, bytes(data), True, flags.persistent, flags.tx_id, now_ns
+            )
+        return flags.dirty
+
+    def dirty_lines(self) -> List[Tuple[int, bytes, LineFlags]]:
+        """All dirty resident lines (inspection / commit-drain helper)."""
+        out = []
+        for line in list(self._data.keys()):
+            flags = self._llc.lookup(line, touch=False)
+            if flags is not None and flags.dirty:
+                out.append((line, bytes(self._data[line]), flags))
+        return out
+
+    def crash(self) -> None:
+        """Power failure: every volatile line vanishes."""
+        self._data.clear()
+        self._llc.clear()
+        for level in self._l1:
+            level.clear()
+        for level in self._l2:
+            level.clear()
+
+    @property
+    def llc(self) -> CacheLevel:
+        return self._llc
+
+    def reset_stats(self) -> None:
+        self.stats = HierarchyStats()
+        self._llc.reset_stats()
+        for level in self._l1:
+            level.reset_stats()
+        for level in self._l2:
+            level.reset_stats()

@@ -1,0 +1,16 @@
+"""The NVM device substrate: functional byte store + timing/energy/wear.
+
+:class:`repro.nvm.device.NVMDevice` is the single source of truth for
+persistent bytes.  Schemes never bypass it — crash tests rely on the device
+content being exactly what survived.  Timing and bandwidth live in
+:mod:`repro.nvm.bandwidth`; energy accounting in :mod:`repro.nvm.energy`;
+per-block wear counters (for HOOP's uniform-aging claim) in
+:mod:`repro.nvm.wear`.
+"""
+
+from repro.nvm.bandwidth import ChannelModel
+from repro.nvm.device import NVMDevice
+from repro.nvm.energy import EnergyMeter
+from repro.nvm.wear import WearTracker
+
+__all__ = ["NVMDevice", "ChannelModel", "EnergyMeter", "WearTracker"]

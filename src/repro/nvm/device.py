@@ -1,0 +1,177 @@
+"""Functional + timed NVM device.
+
+The device stores real bytes in sparse 4 KB pages (so a 512 GB device costs
+only what is touched), and charges every access with:
+
+* device latency (50 ns read / 150 ns write by default, Table II),
+* channel occupancy through :class:`repro.nvm.bandwidth.ChannelModel`,
+* energy through :class:`repro.nvm.energy.EnergyMeter` with a simple
+  one-entry row-buffer locality model,
+* wear through :class:`repro.nvm.wear.WearTracker`.
+
+All persistence schemes read and write NVM *only* through this class, which
+is what lets crash-recovery tests trust the device content as ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.config import NVMConfig
+from repro.common.errors import AddressError
+from repro.nvm.bandwidth import ChannelModel
+from repro.nvm.energy import EnergyMeter
+from repro.nvm.wear import WearTracker
+
+_PAGE = 4096
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one device access."""
+
+    start_ns: float
+    completion_ns: float
+    row_buffer_hit: bool
+
+    @property
+    def latency_ns(self) -> float:
+        return self.completion_ns - self.start_ns
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate functional counters."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+class NVMDevice:
+    """Byte-addressable non-volatile memory with timing and energy."""
+
+    def __init__(
+        self,
+        config: Optional[NVMConfig] = None,
+        *,
+        wear_block_bytes: int = 2 * 1024 * 1024,
+    ) -> None:
+        self.config = config or NVMConfig()
+        self._pages: Dict[int, bytearray] = {}
+        self.channel = ChannelModel(self.config.bandwidth_gb_per_s)
+        self.energy = EnergyMeter(self.config.energy)
+        self.wear = WearTracker(wear_block_bytes)
+        self.stats = DeviceStats()
+        self._open_row: Optional[int] = None
+
+    # -- functional byte plane ---------------------------------------------
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size <= 0 or addr + size > self.config.capacity:
+            raise AddressError(
+                f"access [{addr:#x}, +{size}) outside device of "
+                f"{self.config.capacity} bytes"
+            )
+
+    def peek(self, addr: int, size: int) -> bytes:
+        """Read bytes with no timing, energy, or stats (for tests/tools)."""
+        self._check(addr, size)
+        out = bytearray(size)
+        cursor = addr
+        filled = 0
+        while filled < size:
+            page_base = cursor & ~(_PAGE - 1)
+            offset = cursor - page_base
+            chunk = min(size - filled, _PAGE - offset)
+            page = self._pages.get(page_base)
+            if page is not None:
+                out[filled : filled + chunk] = page[offset : offset + chunk]
+            cursor += chunk
+            filled += chunk
+        return bytes(out)
+
+    def poke(self, addr: int, data: bytes) -> None:
+        """Write bytes with no timing, energy, or stats (for tests/tools)."""
+        self._check(addr, max(1, len(data)))
+        cursor = addr
+        consumed = 0
+        size = len(data)
+        while consumed < size:
+            page_base = cursor & ~(_PAGE - 1)
+            offset = cursor - page_base
+            chunk = min(size - consumed, _PAGE - offset)
+            page = self._pages.get(page_base)
+            if page is None:
+                page = bytearray(_PAGE)
+                self._pages[page_base] = page
+            page[offset : offset + chunk] = data[consumed : consumed + chunk]
+            cursor += chunk
+            consumed += chunk
+
+    # -- timed plane ---------------------------------------------------------
+
+    def _row_hit(self, addr: int) -> bool:
+        row = addr // self.config.row_buffer_bytes
+        hit = row == self._open_row
+        self._open_row = row
+        return hit
+
+    def read(self, addr: int, size: int, now_ns: float = 0.0):
+        """Timed priority read; returns ``(data, AccessResult)``."""
+        data = self.peek(addr, size)
+        hit = self._row_hit(addr)
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        self.energy.record_read(size, hit)
+        finish = self.channel.read(now_ns, size)
+        finish += self.config.read_latency_ns
+        return data, AccessResult(now_ns, finish, hit)
+
+    def write(
+        self,
+        addr: int,
+        data: bytes,
+        now_ns: float = 0.0,
+        *,
+        queued: bool = True,
+    ) -> AccessResult:
+        """Timed write; ``queued`` rides the write queue, else the caller
+        waits behind it (a persist).  Returns an :class:`AccessResult`."""
+        if not data:
+            return AccessResult(now_ns, now_ns, True)
+        self.poke(addr, data)
+        hit = self._row_hit(addr)
+        size = len(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += size
+        self.energy.record_write(size, hit)
+        self.wear.record_write(addr, size)
+        if queued:
+            finish = self.channel.write_queued(now_ns, size)
+        else:
+            finish = self.channel.write_sync(now_ns, size)
+        finish += self.config.write_latency_ns
+        return AccessResult(now_ns, finish, hit)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes of backing storage actually allocated (sparse footprint)."""
+        return len(self._pages) * _PAGE
+
+    def reset_stats(self) -> None:
+        """Clear counters/energy/wear but keep content (new measurement)."""
+        self.stats = DeviceStats()
+        self.energy.reset()
+        self.wear.reset()
+        self.channel.reset()
+        self._open_row = None
+
+    def clear(self) -> None:
+        """Erase content and counters (fresh device)."""
+        self._pages.clear()
+        self.reset_stats()

@@ -1,0 +1,76 @@
+"""NVM access-energy accounting (paper Table II, Section IV-E).
+
+The paper models energy per bit for row-buffer and array accesses
+(0.93/1.02 pJ/bit row-buffer read/write, 2.47/16.82 pJ/bit array
+read/write, from [28] and [40]).  Every device access reports whether the
+row buffer was hit; the meter integrates picojoules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import EnergyConfig
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates NVM read/write energy in picojoules."""
+
+    config: EnergyConfig = field(default_factory=EnergyConfig)
+    read_pj: float = 0.0
+    write_pj: float = 0.0
+
+    def record_read(self, num_bytes: int, row_buffer_hit: bool) -> float:
+        """Account for a read of ``num_bytes``; returns pJ charged."""
+        bits = num_bytes * 8
+        if row_buffer_hit:
+            pj = bits * self.config.row_buffer_read_pj_per_bit
+        else:
+            # A row-buffer miss activates the array and then streams the
+            # data through the row buffer.
+            pj = bits * (
+                self.config.array_read_pj_per_bit
+                + self.config.row_buffer_read_pj_per_bit
+            )
+        self.read_pj += pj
+        return pj
+
+    def record_write(self, num_bytes: int, row_buffer_hit: bool) -> float:
+        """Account for a write of ``num_bytes``; returns pJ charged."""
+        bits = num_bytes * 8
+        if row_buffer_hit:
+            # Writes always eventually reach the array on NVM; a row-buffer
+            # hit only saves the activation read.
+            pj = bits * (
+                self.config.row_buffer_write_pj_per_bit
+                + self.config.array_write_pj_per_bit
+            )
+        else:
+            pj = bits * (
+                self.config.row_buffer_write_pj_per_bit
+                + self.config.array_write_pj_per_bit
+                + self.config.array_read_pj_per_bit
+            )
+        self.write_pj += pj
+        return pj
+
+    @property
+    def total_pj(self) -> float:
+        return self.read_pj + self.write_pj
+
+    @property
+    def total_nj(self) -> float:
+        return self.total_pj / 1000.0
+
+    def reset(self) -> None:
+        self.read_pj = 0.0
+        self.write_pj = 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "read_pj": self.read_pj,
+            "write_pj": self.write_pj,
+            "total_pj": self.total_pj,
+        }

@@ -1,0 +1,246 @@
+"""A shared circular on-NVM append log for the logging baselines.
+
+Opt-Redo, Opt-Undo, LSM, and OSP's flip log all need a durable,
+sequentially-written log with crash-scannable entries.  ``AppendLog``
+provides:
+
+* fixed-format entries — ``(kind, tx_id, target addr, payload)`` with a
+  magic byte and CRC so a post-crash scan stops at the first torn entry;
+* a **circular** data area addressed by monotonically increasing
+  *logical* offsets (physical position = offset mod capacity), so space
+  reclaimed by truncation behind still-live entries is immediately
+  reusable — exactly how hardware log buffers behave;
+* a persistent header recording the logical start offset, advanced by
+  truncation (checkpointing);
+* per-lap magic salting, so a crash scan can never mistake an entry from
+  a previous trip around the buffer for a live one;
+* an explicit :class:`~repro.common.errors.CapacityError` when live data
+  would overrun the buffer (a baseline outran its checkpointer).
+
+The log lives in the same reserved NVM carve HOOP uses for its OOP
+region, so every scheme pays for persistence metadata out of the same
+capacity budget.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.common.errors import CapacityError, CorruptionError
+from repro.memctrl.port import MemoryPort
+
+_MAGIC = 0xA7
+# Entry kinds.
+KIND_DATA = 1  # payload = new data (redo) or old data (undo)
+KIND_COMMIT = 2  # transaction commit record
+KIND_WRAP = 3  # tail filler: the next entry starts at physical 0
+
+# header: magic B, kind B, stride(8B units) H, tx_id I, addr Q,
+# payload size I, crc I  => 24 bytes, 8-aligned.
+_ENTRY_HEADER = struct.Struct("<BBHIQII")
+_LOG_HEADER = struct.Struct("<QQI")  # logical start, reserved, crc
+_LOG_HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    kind: int
+    tx_id: int
+    addr: int
+    payload: bytes
+    offset: int  # logical byte offset within the log's data area
+
+    @property
+    def total_bytes(self) -> int:
+        return _ENTRY_HEADER.size + _pad8(len(self.payload))
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+class AppendLog:
+    """Circular append-only durable log with truncation and crash scan."""
+
+    def __init__(self, port: MemoryPort, base: int, capacity: int) -> None:
+        if capacity <= _LOG_HEADER_BYTES + 4 * _ENTRY_HEADER.size:
+            raise CapacityError("log region too small")
+        self.port = port
+        self.base = base
+        self.capacity = capacity
+        self._data_base = base + _LOG_HEADER_BYTES
+        self._data_bytes = (capacity - _LOG_HEADER_BYTES) & ~7
+        self._start = 0  # logical offset of oldest live entry
+        self._cursor = 0  # logical append offset
+        self.appends = 0
+        self.truncations = 0
+
+    # -- geometry -----------------------------------------------------------------
+
+    def _physical(self, logical: int) -> int:
+        return self._data_base + (logical % self._data_bytes)
+
+    def _magic_for(self, logical: int) -> int:
+        lap = logical // self._data_bytes
+        return _MAGIC ^ (lap & 0x0F)
+
+    @property
+    def live_bytes(self) -> int:
+        return self._cursor - self._start
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.live_bytes / self._data_bytes
+
+    # -- append path ----------------------------------------------------------------
+
+    def _emit(self, raw: bytes, now_ns: float, *, sync: bool) -> float:
+        target = self._physical(self._cursor)
+        self._cursor += len(raw)
+        if sync:
+            return self.port.sync_write(target, raw, now_ns)
+        return self.port.async_write(target, raw, now_ns)
+
+    def _pack(
+        self, logical: int, kind: int, tx_id: int, addr: int,
+        payload: bytes, stride: int,
+    ) -> bytes:
+        magic = self._magic_for(logical)
+        stride_units = stride // 8
+        body = _ENTRY_HEADER.pack(
+            magic, kind, stride_units, tx_id, addr, len(payload), 0
+        )
+        crc = zlib.crc32(body[:-4] + payload) & 0xFFFFFFFF
+        body = _ENTRY_HEADER.pack(
+            magic, kind, stride_units, tx_id, addr, len(payload), crc
+        )
+        raw = body + payload
+        return raw + b"\0" * (stride - len(raw))
+
+    def append(
+        self,
+        kind: int,
+        tx_id: int,
+        addr: int,
+        payload: bytes,
+        now_ns: float,
+        *,
+        sync: bool,
+        min_entry_bytes: int = 0,
+    ) -> Tuple[int, float]:
+        """Write one entry; returns ``(logical offset, completion time)``.
+
+        ``min_entry_bytes`` lets a baseline model its real hardware write
+        granularity (e.g. Opt-Redo's two full cache lines per update) —
+        the entry is padded to that size on NVM.
+        """
+        stride = max(
+            _ENTRY_HEADER.size + _pad8(len(payload)), _pad8(min_entry_bytes)
+        )
+        tail_room = self._data_bytes - (self._cursor % self._data_bytes)
+        wrap_pad = tail_room if tail_room < stride else 0
+        if self.live_bytes + wrap_pad + stride > self._data_bytes:
+            raise CapacityError(
+                "log region full; checkpoint/truncate required"
+            )
+        if wrap_pad:
+            if wrap_pad >= _ENTRY_HEADER.size:
+                filler = self._pack(
+                    self._cursor, KIND_WRAP, 0, 0, b"", wrap_pad
+                )
+                self._emit(filler, now_ns, sync=False)
+            else:
+                self._cursor += wrap_pad  # too small even for a header
+        offset = self._cursor
+        raw = self._pack(offset, kind, tx_id, addr, payload, stride)
+        completion = self._emit(raw, now_ns, sync=sync)
+        self.appends += 1
+        return offset, completion
+
+    def truncate(self, now_ns: float, upto: Optional[int] = None) -> float:
+        """Advance the persistent start pointer.
+
+        ``upto`` bounds the truncation (logical offset of the oldest entry
+        that must survive — e.g. the first entry of a still-open
+        transaction); the default reclaims everything appended so far.
+        """
+        target = self._cursor if upto is None else upto
+        if target < self._start or target > self._cursor:
+            raise CapacityError(
+                f"truncate target {target} outside live range "
+                f"[{self._start}, {self._cursor}]"
+            )
+        self._start = target
+        self.truncations += 1
+        return self._persist_header(now_ns)
+
+    def _persist_header(self, now_ns: float) -> float:
+        body = _LOG_HEADER.pack(self._start, 0, 0)
+        crc = zlib.crc32(body[:-4]) & 0xFFFFFFFF
+        body = _LOG_HEADER.pack(self._start, 0, crc)
+        return self.port.sync_write(self.base, body, now_ns)
+
+    # -- crash scanning ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Nothing volatile to lose: state is re-derived by scanning."""
+
+    def rebuild_and_scan(self) -> Iterator[LogEntry]:
+        """Post-crash: read the header, then yield live entries in order.
+
+        Stops at the first entry whose magic or CRC fails — everything at
+        and beyond it was mid-write (or from a previous lap) when power
+        failed.
+        """
+        device = self.port.device
+        header = device.peek(self.base, _LOG_HEADER.size)
+        try:
+            start, _, crc = _LOG_HEADER.unpack(header)
+        except struct.error as exc:  # pragma: no cover - fixed-size read
+            raise CorruptionError("log header unreadable") from exc
+        body = _LOG_HEADER.pack(start, 0, 0)
+        if crc != zlib.crc32(body[:-4]) & 0xFFFFFFFF:
+            start = 0  # never persisted: log was empty at crash time
+        cursor = start
+        scanned = 0
+        while scanned < self._data_bytes:
+            tail_room = self._data_bytes - (cursor % self._data_bytes)
+            if tail_room < _ENTRY_HEADER.size:
+                cursor += tail_room
+                scanned += tail_room
+                continue
+            raw = device.peek(self._physical(cursor), _ENTRY_HEADER.size)
+            magic, kind, stride_units, tx_id, addr, size, crc = (
+                _ENTRY_HEADER.unpack(raw)
+            )
+            if magic != self._magic_for(cursor) or stride_units == 0:
+                break
+            stride = stride_units * 8
+            if stride > tail_room and kind != KIND_WRAP:
+                break  # an entry never straddles the wrap point
+            if size:
+                payload = device.peek(
+                    self._physical(cursor) + _ENTRY_HEADER.size, size
+                )
+            else:
+                payload = b""
+            check = _ENTRY_HEADER.pack(
+                magic, kind, stride_units, tx_id, addr, size, 0
+            )
+            if crc != zlib.crc32(check[:-4] + payload) & 0xFFFFFFFF:
+                break
+            if kind != KIND_WRAP:
+                yield LogEntry(kind, tx_id, addr, payload, cursor)
+            cursor += stride
+            scanned += stride
+        self._start = start
+        self._cursor = cursor
+
+    def reset(self, now_ns: float = 0.0) -> None:
+        """Post-recovery: restart the log empty (fresh lap)."""
+        lap = self._cursor // self._data_bytes + 1
+        self._start = self._cursor = lap * self._data_bytes
+        self._persist_header(now_ns)

@@ -1,0 +1,67 @@
+"""The Ideal baseline: a native system with no persistence support.
+
+Figures 7–9 normalize against this scheme.  Stores live in the cache
+hierarchy, dirty lines are written back to their home addresses on
+eviction, and nothing is ordered, logged, or flushed.  Consequently a
+crash loses whatever had not happened to be evicted — the crash-
+consistency tests assert exactly that (Native is the one scheme allowed
+to fail them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.addr import CACHE_LINE_BYTES
+from repro.schemes.base import PersistenceScheme, SchemeTraits
+
+
+class NativeScheme(PersistenceScheme):
+    """No crash consistency; the performance/traffic ideal."""
+
+    name = "native"
+    traits = SchemeTraits(
+        approach="None (ideal)",
+        read_latency="Low",
+        extra_writes_on_critical_path=False,
+        requires_flush_fence=False,
+        write_traffic="Low",
+    )
+
+    def on_store(
+        self,
+        core: int,
+        tx_id: int,
+        addr: int,
+        size: int,
+        line_addr: int,
+        line_data: bytes,
+        now_ns: float,
+    ) -> float:
+        self.stats.tx_stores += 1
+        return now_ns
+
+    def tx_end(self, core: int, tx_id: int, now_ns: float) -> float:
+        return now_ns
+
+    def fill_line(self, line_addr: int, now_ns: float) -> Tuple[bytes, float]:
+        data, completion = self.port.read(line_addr, CACHE_LINE_BYTES, now_ns)
+        return data, completion - now_ns
+
+    def on_evict(
+        self,
+        line_addr: int,
+        data: bytes,
+        dirty: bool,
+        persistent: bool,
+        tx_id: int,
+        now_ns: float,
+    ) -> None:
+        if dirty:
+            self.port.async_write(line_addr, data, now_ns)
+
+    def recover(
+        self, *, threads: int = 1, bandwidth_gb_per_s: Optional[float] = None
+    ):
+        """Nothing to recover: whatever reached NVM is what you get."""
+        return None

@@ -1,0 +1,164 @@
+"""A deterministic skip list, LSNVMM's address-mapping index.
+
+LSNVMM maps virtual addresses to log offsets through a tree-shaped index;
+the paper's LSM baseline implements it "using skip list [3], and cache[s]
+it in DRAM for fast index lookup".  The performance-relevant property is
+the **number of node hops per operation** — that is what turns into read
+latency in the LSM scheme — so the implementation counts hops explicitly
+and exposes them to the caller.
+
+Determinism: node heights come from a per-instance xorshift PRNG seeded at
+construction, so identical operation sequences build identical indexes and
+experiments reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+_MAX_LEVEL = 24
+
+
+class _Node(Generic[V]):
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: int, value: Optional[V], level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node[V]"]] = [None] * level
+
+
+class SkipList(Generic[V]):
+    """Ordered int-keyed map with hop counting."""
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._head: _Node[V] = _Node(-1, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        self._state = (seed or 1) & 0xFFFFFFFF
+        self.hops = 0  # total node traversals (the latency driver)
+
+    # -- xorshift32: deterministic level choice ------------------------------------
+
+    def _random_level(self) -> int:
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._state = x
+        level = 1
+        while x & 1 and level < _MAX_LEVEL:
+            level += 1
+            x >>= 1
+        return level
+
+    # -- core operations -----------------------------------------------------------
+
+    def _find_path(self, key: int) -> List[_Node[V]]:
+        """Predecessors at every level, counting hops."""
+        update: List[_Node[V]] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+                self.hops += 1
+            update[level] = node
+            self.hops += 1
+        return update
+
+    def insert(self, key: int, value: V) -> int:
+        """Insert or replace; returns hops spent."""
+        before = self.hops
+        update = self._find_path(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return self.hops - before
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._size += 1
+        return self.hops - before
+
+    def lookup(self, key: int) -> Tuple[Optional[V], int]:
+        """Exact-match search; returns ``(value or None, hops spent)``."""
+        before = self.hops
+        update = self._find_path(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value, self.hops - before
+        return None, self.hops - before
+
+    def floor(self, key: int) -> Tuple[Optional[int], Optional[V], int]:
+        """Largest key <= ``key``; returns ``(key, value, hops)``."""
+        before = self.hops
+        update = self._find_path(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.key, candidate.value, self.hops - before
+        pred = update[0]
+        if pred is self._head:
+            return None, None, self.hops - before
+        return pred.key, pred.value, self.hops - before
+
+    def remove(self, key: int) -> Tuple[bool, int]:
+        """Delete; returns ``(found, hops spent)``."""
+        before = self.hops
+        update = self._find_path(key)
+        candidate = update[0].forward[0]
+        if candidate is None or candidate.key != key:
+            return False, self.hops - before
+        for i in range(len(candidate.forward)):
+            if update[i].forward[i] is candidate:
+                update[i].forward[i] = candidate.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True, self.hops - before
+
+    def range_items(
+        self, low: int, high: int
+    ) -> Tuple[List[Tuple[int, V]], int]:
+        """All ``(key, value)`` with ``low <= key < high``; plus hops.
+
+        One descent locates the range start; level-0 successor hops walk
+        it — the extent-scan pattern LSNVMM's read path uses for a cache
+        line's worth of words.
+        """
+        before = self.hops
+        update = self._find_path(low)
+        node = update[0].forward[0]
+        out: List[Tuple[int, V]] = []
+        while node is not None and node.key < high:
+            out.append((node.key, node.value))
+            node = node.forward[0]
+            self.hops += 1
+        return out, self.hops - before
+
+    # -- iteration / inspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Tuple[int, V]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[int]:
+        for key, _ in self:
+            yield key
+
+    def clear(self) -> None:
+        self._head = _Node(-1, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0

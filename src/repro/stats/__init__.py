@@ -1,0 +1,10 @@
+"""Measurement and reporting utilities.
+
+Raw counters live where the events happen (device, channel, hierarchy,
+scheme, GC); this package turns them into the paper's reported quantities
+and renders aligned text tables for the harness and EXPERIMENTS.md.
+"""
+
+from repro.stats.report import FigureData, format_table
+
+__all__ = ["FigureData", "format_table"]

@@ -1,0 +1,80 @@
+"""Result containers and text-table rendering for the harness.
+
+Every experiment runner returns a :class:`FigureData`: the figure/table
+identifier, column names, data rows, and free-form notes (normalization
+basis, scale caveats).  ``render()`` produces the aligned text block that
+the benchmarks print and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """Render an aligned text table."""
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(columns[i])), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(str(columns[i]))
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure or table."""
+
+    figure: str  # e.g. "Figure 7a"
+    title: str
+    columns: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Cell]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def by_key(self, key_column: str) -> Dict[Cell, List[Cell]]:
+        index = self.columns.index(key_column)
+        return {row[index]: row for row in self.rows}
+
+    def render(self) -> str:
+        header = f"== {self.figure}: {self.title} =="
+        body = format_table(self.columns, self.rows)
+        notes = "\n".join(f"  note: {n}" for n in self.notes)
+        return "\n".join(part for part in (header, body, notes) if part)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,164 @@
+"""Human-readable dumps of a live simulated system.
+
+Debugging a crash-consistency mechanism is archaeology: you want to see
+the OOP region's block states, walk a transaction's slice chain, and
+check what the mapping table believes — without disturbing any of it.
+These helpers read only (device ``peek``, no stats, no timing) and render
+text reports; the examples and the test suite use them, and they are the
+first thing to reach for when a property test shrinks to a confusing
+counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import CorruptionError
+from repro.core.controller import HoopController
+from repro.core.oop_region import BlockState
+from repro.core.slices import (
+    KIND_ADDR,
+    KIND_DATA,
+    SLICE_BYTES,
+    SliceCodec,
+)
+from repro.stats.report import format_table
+from repro.txn.system import MemorySystem
+
+
+def _hoop_controllers(system: MemorySystem) -> List[HoopController]:
+    scheme = system.scheme
+    if hasattr(scheme, "controller"):
+        return [scheme.controller]
+    if hasattr(scheme, "controllers"):
+        return list(scheme.controllers)
+    return []
+
+
+def dump_region(controller: HoopController, *, max_blocks: int = 32) -> str:
+    """Block states, streams, generations, and slice occupancy."""
+    region = controller.region
+    rows = []
+    shown = 0
+    for block in range(region.num_blocks):
+        state = region.state_of(block)
+        stream = region.stream_of(block)
+        if state == BlockState.UNUSED and stream is None:
+            continue
+        data_slices = addr_slices = torn = 0
+        for slice_index in region.iter_block_slices(block):
+            raw = controller.port.device.peek(
+                region.slice_addr(slice_index), SLICE_BYTES
+            )
+            kind = SliceCodec.kind_of(raw)
+            if kind == KIND_DATA:
+                try:
+                    controller.codec.decode_data(raw)
+                    data_slices += 1
+                except CorruptionError:
+                    torn += 1
+            elif kind == KIND_ADDR:
+                try:
+                    controller.codec.decode_addr(raw)
+                    addr_slices += 1
+                except CorruptionError:
+                    torn += 1
+        rows.append(
+            [
+                block,
+                state.name,
+                stream or "-",
+                region.generation_of(block),
+                data_slices,
+                addr_slices,
+                torn,
+            ]
+        )
+        shown += 1
+        if shown >= max_blocks:
+            rows.append(["...", "", "", "", "", "", ""])
+            break
+    return format_table(
+        ["block", "state", "stream", "gen", "data", "addr", "torn"], rows
+    )
+
+
+def dump_commit_log(controller: HoopController, *, max_txs: int = 20) -> str:
+    """Live committed transactions and their chain shapes."""
+    rows = []
+    for tx in controller.commit_log.committed_transactions()[:max_txs]:
+        chain_len = 0
+        words = 0
+        for tail in tx.segment_tails:
+            cursor: Optional[int] = tail
+            total = (
+                controller.region.num_blocks
+                * controller.region.slots_per_block
+            )
+            while cursor is not None and chain_len < 10_000:
+                raw = controller.port.device.peek(
+                    controller.region.slice_addr(cursor), SLICE_BYTES
+                )
+                try:
+                    ds = controller.codec.decode_data(raw)
+                except CorruptionError:
+                    break
+                if ds.tx_id != tx.tx_id:
+                    break
+                chain_len += 1
+                words += len(ds.words)
+                cursor = (
+                    None
+                    if ds.prev_delta is None
+                    else (cursor - ds.prev_delta) % total
+                )
+        rows.append(
+            [tx.tx_id, len(tx.segment_tails), chain_len, words]
+        )
+    return format_table(["tx", "segments", "slices", "words"], rows)
+
+
+def dump_mapping_table(
+    controller: HoopController, *, max_lines: int = 20
+) -> str:
+    """Tracked lines and where their newest words live."""
+    rows = []
+    for line in sorted(controller.mapping.tracked_lines())[:max_lines]:
+        words = controller.mapping.lookup_line(line) or {}
+        in_buffer = sum(1 for loc in words.values() if loc.in_buffer)
+        slices = {
+            loc.slice_index
+            for loc in words.values()
+            if not loc.in_buffer
+        }
+        rows.append(
+            [f"{line:#x}", len(words), in_buffer, len(slices)]
+        )
+    return format_table(
+        ["line", "words", "buffered", "distinct slices"], rows
+    )
+
+
+def describe_system(system: MemorySystem) -> str:
+    """One-page status report of a live system."""
+    device = system.device
+    sections = [
+        f"scheme: {system.scheme.name}",
+        f"committed transactions: {system.committed_transactions}",
+        f"simulated time: {system.now_ns / 1e6:.3f} ms",
+        f"NVM written: {device.stats.bytes_written} B,"
+        f" read: {device.stats.bytes_read} B",
+        f"energy: {device.energy.total_pj / 1e6:.3f} uJ",
+        f"LLC miss ratio: {system.hierarchy.stats.llc_miss_ratio:.3f}",
+    ]
+    for i, controller in enumerate(_hoop_controllers(system)):
+        gc = controller.gc.stats
+        sections.append(
+            f"controller {i}: mapping={controller.mapping.entries} entries,"
+            f" commit-log live={controller.commit_log.live_count},"
+            f" GC passes={gc.passes}"
+            f" (reduction {gc.data_reduction_ratio:.2f}),"
+            f" free blocks={controller.region.free_block_count()}"
+            f"/{controller.region.num_blocks}"
+        )
+    return "\n".join(sections)

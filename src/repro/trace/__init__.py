@@ -1,0 +1,24 @@
+"""Trace capture and replay.
+
+The simulator is trace-driven at heart: a workload is a stream of
+``Tx_begin / store / load / Tx_end`` events.  This package makes that
+stream a first-class artifact —
+
+* :class:`~repro.trace.trace.Trace` holds an event stream and round-trips
+  through a line-oriented text format (diff-able, greppable);
+* :class:`~repro.trace.record.RecordingSystem` is a drop-in
+  :class:`~repro.txn.system.MemorySystem` that captures everything a
+  workload does;
+* :func:`~repro.trace.replay.replay` re-executes a trace against any
+  scheme and returns the same :class:`RunResult`-style metrics.
+
+Record once, replay everywhere: the same byte-identical event stream can
+be driven through all seven schemes, which removes workload randomness
+from cross-scheme comparisons entirely.
+"""
+
+from repro.trace.record import RecordingSystem
+from repro.trace.replay import ReplayResult, replay
+from repro.trace.trace import Trace, TraceOp
+
+__all__ = ["Trace", "TraceOp", "RecordingSystem", "replay", "ReplayResult"]

@@ -1,0 +1,52 @@
+"""Capture a workload's event stream while it runs normally.
+
+:class:`RecordingSystem` is a :class:`~repro.txn.system.MemorySystem`
+that also appends every transactional event to a
+:class:`~repro.trace.trace.Trace`.  The workload neither knows nor cares;
+timing, caching, and persistence behave exactly as on the plain system.
+"""
+
+from __future__ import annotations
+
+from repro.trace.trace import BEGIN, END, LOAD, STORE, Trace, TraceOp
+from repro.txn.system import MemorySystem
+from repro.txn.transaction import Transaction
+
+
+class RecordingSystem(MemorySystem):
+    """A MemorySystem that records everything into ``self.trace``."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.trace = Trace()
+        self.recording = True
+
+    def _begin(self, tx: Transaction) -> None:
+        super()._begin(tx)
+        if self.recording:
+            self.trace.append(TraceOp(BEGIN, tx.core))
+
+    def _end(self, tx: Transaction) -> None:
+        super()._end(tx)
+        if self.recording:
+            self.trace.append(TraceOp(END, tx.core))
+
+    def _store(self, tx: Transaction, addr: int, data: bytes) -> None:
+        super()._store(tx, addr, data)
+        if self.recording:
+            self.trace.append(
+                TraceOp(STORE, tx.core, addr=addr, data=bytes(data))
+            )
+
+    def _load(self, core: int, addr: int, size: int) -> bytes:
+        data = super()._load(core, addr, size)
+        if self.recording:
+            self.trace.append(TraceOp(LOAD, core, addr=addr, size=size))
+        return data
+
+    def pause_recording(self) -> None:
+        """Stop capturing (e.g. during a load phase you want excluded)."""
+        self.recording = False
+
+    def resume_recording(self) -> None:
+        self.recording = True

@@ -1,0 +1,121 @@
+"""Replay a captured trace against any persistence scheme.
+
+The replayer walks the event stream in recorded order, opening and
+closing transactions per core exactly as the original run did.  Because
+the byte stream is fixed, two replays under different schemes see the
+*identical* workload — the cleanest possible apples-to-apples comparison
+(no RNG, no data-structure divergence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.errors import ReproError
+from repro.trace.trace import BEGIN, END, LOAD, STORE, Trace
+from repro.txn.system import MemorySystem
+from repro.txn.transaction import Transaction
+
+
+class ReplayError(ReproError):
+    """The trace does not fit the target system."""
+
+
+@dataclass
+class ReplayResult:
+    """Metrics of one trace replay."""
+
+    scheme: str
+    transactions: int = 0
+    stores: int = 0
+    loads: int = 0
+    makespan_ns: float = 0.0
+    mean_latency_ns: float = 0.0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    energy_pj: float = 0.0
+    load_mismatches: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_tx_per_ms(self) -> float:
+        if self.makespan_ns <= 0:
+            return 0.0
+        return self.transactions / (self.makespan_ns / 1e6)
+
+
+def replay(
+    trace: Trace,
+    system: MemorySystem,
+    *,
+    verify_loads: Optional[Dict[int, bytes]] = None,
+    quiesce: bool = True,
+    reset_measurement: bool = True,
+) -> ReplayResult:
+    """Execute ``trace`` on ``system``; returns replay metrics.
+
+    ``verify_loads`` optionally maps load addresses to expected bytes
+    (e.g. from the recording run); mismatches are counted, not raised,
+    because a replay against a different initial heap is legitimate.
+    """
+    trace.validate()
+    cores = trace.cores()
+    if cores and max(cores) >= system.config.num_cores:
+        raise ReplayError(
+            f"trace uses core {max(cores)}; system has"
+            f" {system.config.num_cores}"
+        )
+    if reset_measurement:
+        system.reset_measurement()
+    result = ReplayResult(scheme=system.scheme.name)
+    open_txs: Dict[int, Transaction] = {}
+    start_ns = max(system.clocks) if system.clocks else 0.0
+    start_committed = system.committed_transactions
+    for op in trace:
+        if op.kind == BEGIN:
+            if op.core in open_txs:
+                raise ReplayError(f"core {op.core}: nested Tx_begin")
+            tx = system.transaction(op.core)
+            tx.__enter__()
+            open_txs[op.core] = tx
+        elif op.kind == END:
+            tx = open_txs.pop(op.core, None)
+            if tx is None:
+                raise ReplayError(f"core {op.core}: Tx_end without begin")
+            tx.__exit__(None, None, None)
+            result.transactions += 1
+        elif op.kind == STORE:
+            tx = open_txs.get(op.core)
+            if tx is None:
+                raise ReplayError(f"core {op.core}: store outside tx")
+            tx.store(op.addr, op.data)
+            result.stores += 1
+        elif op.kind == LOAD:
+            tx = open_txs.get(op.core)
+            if tx is None:
+                raise ReplayError(f"core {op.core}: load outside tx")
+            data = tx.load(op.addr, op.size)
+            result.loads += 1
+            if verify_loads is not None:
+                expected = verify_loads.get(op.addr)
+                if expected is not None and expected != data:
+                    result.load_mismatches += 1
+    if open_txs:
+        raise ReplayError(
+            f"trace left transactions open on cores {sorted(open_txs)}"
+        )
+    if quiesce:
+        system.scheme.quiesce(system.now_ns)
+    result.makespan_ns = max(
+        max(system.clocks) - start_ns, 1e-9
+    )
+    result.mean_latency_ns = system.mean_latency_ns
+    result.bytes_written = system.device.stats.bytes_written
+    result.bytes_read = system.device.stats.bytes_read
+    result.energy_pj = system.device.energy.total_pj
+    assert (
+        system.committed_transactions - start_committed
+        == result.transactions
+    )
+    return result

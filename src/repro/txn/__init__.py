@@ -1,0 +1,14 @@
+"""The user-facing transactional memory API.
+
+:class:`repro.txn.system.MemorySystem` assembles a device, cache
+hierarchy, and persistence scheme; :class:`repro.txn.transaction.Transaction`
+is the ``Tx_begin``/``Tx_end`` failure-atomic region (§III-B: the only two
+interfaces HOOP adds); :class:`repro.txn.allocator.PersistentHeap` carves
+the home region into allocations for data structures.
+"""
+
+from repro.txn.allocator import PersistentHeap
+from repro.txn.system import MemorySystem
+from repro.txn.transaction import Transaction
+
+__all__ = ["MemorySystem", "Transaction", "PersistentHeap"]

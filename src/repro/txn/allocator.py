@@ -1,0 +1,84 @@
+"""A simple persistent-heap allocator over the home region.
+
+Workload data structures allocate their nodes/buckets/tuples here.  The
+design is a size-classed free list over a bump pointer: deterministic,
+O(1), and — like the paper's workloads, which use ordinary persistent
+heaps — entirely in the home region, so every allocation address is
+word-aligned and safely below the OOP region base.
+
+Allocator *metadata* is volatile by intent: the paper's recovery story is
+about data content, and our crash tests compare committed data, not heap
+bookkeeping.  (A production persistent allocator is out of scope and
+orthogonal to HOOP.)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.common.errors import AllocationError
+
+
+class PersistentHeap:
+    """Bump allocator with per-size free lists."""
+
+    def __init__(
+        self,
+        base: int = 4096,
+        limit: int = 2**40,
+        *,
+        alignment: int = 8,
+    ) -> None:
+        if base < 0 or limit <= base:
+            raise AllocationError("heap range is empty")
+        if alignment & (alignment - 1):
+            raise AllocationError("alignment must be a power of two")
+        self.base = base
+        self.limit = limit
+        self.alignment = alignment
+        self._cursor = self._align(base)
+        self._free: Dict[int, List[int]] = defaultdict(list)
+        self.allocations = 0
+        self.frees = 0
+
+    def _align(self, value: int) -> int:
+        mask = self.alignment - 1
+        return (value + mask) & ~mask
+
+    def _rounded(self, size: int) -> int:
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive: {size}")
+        return self._align(size)
+
+    def allocate(self, size: int) -> int:
+        """Return the address of a fresh ``size``-byte allocation."""
+        rounded = self._rounded(size)
+        free_list = self._free.get(rounded)
+        if free_list:
+            self.allocations += 1
+            return free_list.pop()
+        addr = self._cursor
+        if addr + rounded > self.limit:
+            raise AllocationError(
+                f"persistent heap exhausted at {self._cursor:#x}"
+            )
+        self._cursor = addr + rounded
+        self.allocations += 1
+        return addr
+
+    def free(self, addr: int, size: int) -> None:
+        """Return an allocation to its size class."""
+        rounded = self._rounded(size)
+        if not self.base <= addr < self.limit:
+            raise AllocationError(f"free of foreign address {addr:#x}")
+        self._free[rounded].append(addr)
+        self.frees += 1
+
+    @property
+    def bytes_reserved(self) -> int:
+        return self._cursor - self._align(self.base)
+
+    @property
+    def live_allocations(self) -> int:
+        return self.allocations - self.frees

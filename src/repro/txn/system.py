@@ -1,0 +1,201 @@
+"""The assembled memory system: device + hierarchy + scheme + clocks.
+
+One :class:`MemorySystem` is one simulated machine.  Each core has its own
+clock (nanoseconds); transactional operations advance the issuing core's
+clock by cache latency plus whatever the active persistence scheme charges.
+Multi-threaded experiments are driven by
+:class:`repro.workloads.driver.WorkloadDriver`, which interleaves per-core
+work in min-clock order so shared-resource contention (the NVM channel) is
+modeled consistently.
+
+Crash/recovery: :meth:`crash` drops every volatile structure — caches and
+scheme SRAM — while :meth:`recover` invokes the scheme's recovery protocol
+and returns its report.  The pair is what the crash-consistency property
+tests drive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.common.addr import split_by_cache_line
+from repro.common.config import SystemConfig
+from repro.common.errors import TransactionError
+from repro.memhier.hierarchy import CacheHierarchy
+from repro.nvm.device import NVMDevice
+from repro.schemes import make_scheme
+from repro.schemes.base import PersistenceScheme
+from repro.txn.allocator import PersistentHeap
+from repro.txn.transaction import Transaction
+
+# Instruction overhead charged per transactional memory operation.  The
+# paper's workloads run as full x86 programs on McSimA+, so every tracked
+# load/store is surrounded by a few dozen application instructions (hash
+# computation, comparisons, allocator bookkeeping); ~25 instructions at
+# 2.5 GHz and IPC ~1 is 10 ns.  Without this, simulated transactions are
+# implausibly short and commit-time persists dominate every ratio.
+_OP_OVERHEAD_NS = 10.0
+
+
+class MemorySystem:
+    """A simulated NVM machine running one persistence scheme."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        scheme: Union[str, PersistenceScheme] = "hoop",
+    ) -> None:
+        self.config = config or SystemConfig.paper_default()
+        if isinstance(scheme, str):
+            self.device = NVMDevice(self.config.nvm)
+            self.scheme = make_scheme(scheme, self.config, self.device)
+        else:
+            # Adopt the scheme's device so durable_state and the traffic
+            # counters observe the same NVM the scheme persists into.
+            self.scheme = scheme
+            self.device = scheme.device
+        self.hierarchy = CacheHierarchy(
+            self.config, self.scheme.fill_line, self.scheme.on_evict
+        )
+        self.heap = PersistentHeap(
+            base=4096, limit=self.config.home_region_bytes
+        )
+        self.clocks = [0.0] * self.config.num_cores
+        self.committed_transactions = 0
+        # Critical-path latency accumulator (Fig. 7b): sum/count/max of
+        # Tx_begin→Tx_end times, cheap enough to leave always-on.
+        self.latency_sum_ns = 0.0
+        self.latency_count = 0
+        self.latency_max_ns = 0.0
+
+    # -- public API ------------------------------------------------------------
+
+    def transaction(self, core: int = 0) -> Transaction:
+        """Open a failure-atomic region on ``core`` (context manager)."""
+        return Transaction(self, core)
+
+    def allocate(self, size: int) -> int:
+        """Persistent-heap allocation (home-region address)."""
+        return self.heap.allocate(size)
+
+    def free(self, addr: int, size: int) -> None:
+        self.heap.free(addr, size)
+
+    def load(self, addr: int, size: int, core: int = 0) -> bytes:
+        """Non-transactional read (still goes through the caches)."""
+        return self._load(core, addr, size)
+
+    @property
+    def now_ns(self) -> float:
+        """Simulated wall-clock: the furthest core clock."""
+        return max(self.clocks)
+
+    def elapsed_ns(self, core: int) -> float:
+        return self.clocks[core]
+
+    # -- crash & recovery ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power failure: caches and scheme-volatile state vanish."""
+        self.hierarchy.crash()
+        self.scheme.crash()
+
+    def recover(
+        self,
+        *,
+        threads: int = 1,
+        bandwidth_gb_per_s: Optional[float] = None,
+    ):
+        """Run the scheme's recovery; returns its report (or None)."""
+        return self.scheme.recover(
+            threads=threads, bandwidth_gb_per_s=bandwidth_gb_per_s
+        )
+
+    def durable_state(self, addr: int, size: int) -> bytes:
+        """Raw NVM bytes (no caches) — the post-recovery truth for tests."""
+        return self.device.peek(addr, size)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        if not self.latency_count:
+            return 0.0
+        return self.latency_sum_ns / self.latency_count
+
+    def sync_clocks(self) -> float:
+        """Barrier: align every core clock to the furthest one.
+
+        Used at measurement boundaries (after the load phase, after
+        warm-up) — threads start the measured region together, like the
+        paper's benchmark harness.  Returns the barrier time.
+        """
+        horizon = max(self.clocks)
+        self.clocks = [horizon] * len(self.clocks)
+        return horizon
+
+    def reset_measurement(self) -> None:
+        """Zero traffic/latency counters after warm-up or setup."""
+        self.scheme.reset_measurement()
+        self.hierarchy.reset_stats()
+        self.latency_sum_ns = 0.0
+        self.latency_count = 0
+        self.latency_max_ns = 0.0
+
+    # -- transaction protocol (called by Transaction) --------------------------------
+
+    def _begin(self, tx: Transaction) -> None:
+        core = tx.core
+        now = self.clocks[core]
+        tx.tx_id, now = self.scheme.tx_begin(core, now)
+        tx.begin_ns = now
+        self.clocks[core] = now
+
+    def _end(self, tx: Transaction) -> None:
+        core = tx.core
+        now = self.clocks[core]
+        now = self.scheme.tx_end(core, tx.tx_id, now)
+        tx.end_ns = now
+        self.clocks[core] = now
+        self.committed_transactions += 1
+        latency = tx.latency_ns
+        self.latency_sum_ns += latency
+        self.latency_count += 1
+        if latency > self.latency_max_ns:
+            self.latency_max_ns = latency
+        self.scheme.tick(now)
+
+    def _store(self, tx: Transaction, addr: int, data: bytes) -> None:
+        if not data:
+            raise TransactionError("empty transactional store")
+        core = tx.core
+        now = self.clocks[core]
+        for line_addr, piece_addr, piece_size in split_by_cache_line(
+            addr, len(data)
+        ):
+            offset = piece_addr - addr
+            piece = data[offset : offset + piece_size]
+            outcome = self.hierarchy.store(
+                core,
+                piece_addr,
+                piece,
+                now,
+                persistent=True,
+                tx_id=tx.tx_id,
+            )
+            now += outcome.latency_ns + _OP_OVERHEAD_NS
+            line_data = self.hierarchy.peek_line(line_addr)
+            assert line_data is not None
+            now = self.scheme.on_store(
+                core, tx.tx_id, piece_addr, piece_size, line_addr, line_data, now
+            )
+        self.clocks[core] = now
+
+    def _load(self, core: int, addr: int, size: int) -> bytes:
+        now = self.clocks[core]
+        chunks = []
+        for _, piece_addr, piece_size in split_by_cache_line(addr, size):
+            data, outcome = self.hierarchy.load(core, piece_addr, piece_size, now)
+            now += outcome.latency_ns + _OP_OVERHEAD_NS
+            chunks.append(data)
+        self.clocks[core] = now
+        self.scheme.stats.tx_loads += 1
+        return b"".join(chunks)

@@ -1,0 +1,35 @@
+"""The paper's workloads (Table III).
+
+Synthetic microbenchmarks — five persistent data structures implemented
+against the transactional API, matching the paper's stores/transaction —
+plus the two real-world workloads: YCSB and TPC-C new-order over an
+N-Store-style tuple storage engine.
+
+========  =======================  ===========  ===========
+Workload  Structure                Stores/TX    Write/Read
+========  =======================  ===========  ===========
+vector    flat slot array           8            100%/0%
+hashmap   chained hash table        8            100%/0%
+queue     linked FIFO               4            100%/0%
+rbtree    red-black tree            2–10         100%/0%
+btree     B-tree                    2–12         100%/0%
+ycsb      N-Store KV table          8–32         80%/20%
+tpcc      N-Store new-order         10–35        40%/60%
+========  =======================  ===========  ===========
+"""
+
+from repro.workloads.driver import (
+    RunResult,
+    WorkloadDriver,
+    make_workload,
+    WORKLOAD_NAMES,
+)
+from repro.workloads.zipfian import ZipfianGenerator
+
+__all__ = [
+    "WorkloadDriver",
+    "RunResult",
+    "make_workload",
+    "WORKLOAD_NAMES",
+    "ZipfianGenerator",
+]

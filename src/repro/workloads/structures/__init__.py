@@ -1,0 +1,22 @@
+"""Persistent data structures for the microbenchmarks (Table III).
+
+Each structure lives entirely in the simulated persistent heap and issues
+all of its reads and writes through a :class:`~repro.txn.transaction
+.Transaction`, so every pointer chase and field update flows through the
+cache hierarchy and active persistence scheme exactly like the paper's
+C++ structures flowed through McSimA+.
+"""
+
+from repro.workloads.structures.btree import PersistentBTree
+from repro.workloads.structures.hashmap import PersistentHashMap
+from repro.workloads.structures.queue import PersistentQueue
+from repro.workloads.structures.rbtree import PersistentRBTree
+from repro.workloads.structures.vector import PersistentVector
+
+__all__ = [
+    "PersistentVector",
+    "PersistentHashMap",
+    "PersistentQueue",
+    "PersistentRBTree",
+    "PersistentBTree",
+]

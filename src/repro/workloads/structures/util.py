@@ -1,0 +1,29 @@
+"""Shared helpers for persistent structures: word-granularity item IO.
+
+The paper tracks updates at word granularity (Fig. 3), and Table III's
+stores/transaction counts are word stores.  ``store_item`` therefore
+writes payloads as a sequence of 8-byte stores — a 64-byte item is 8
+stores, a 1 KB item is 128 — which is also how a compiler emits the copy.
+"""
+
+from __future__ import annotations
+
+from repro.txn.transaction import Transaction
+
+NULL = 0  # null pointer sentinel (the heap never hands out address 0)
+
+
+def store_item(tx: Transaction, addr: int, payload: bytes) -> None:
+    """Write ``payload`` as word stores (padded to a word multiple)."""
+    if not payload:
+        raise ValueError("empty item")
+    padded = payload
+    if len(padded) % 8:
+        padded = padded + b"\0" * (8 - len(padded) % 8)
+    for offset in range(0, len(padded), 8):
+        tx.store(addr + offset, padded[offset : offset + 8])
+
+
+def load_item(tx: Transaction, addr: int, size: int) -> bytes:
+    """Read ``size`` bytes (line-sized chunks; the hierarchy splits)."""
+    return tx.load(addr, size)

@@ -1,0 +1,67 @@
+"""Persistent vector: a flat slot array with a length header.
+
+The simplest Table III structure: ``insert`` appends an item (8 word
+stores for the default 64-byte item) and bumps the length word; ``update``
+overwrites a slot in place.  Matches the paper's "Vector [23] —
+insert/update entries, 8 stores/TX".
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CapacityError
+from repro.txn.system import MemorySystem
+from repro.txn.transaction import Transaction
+from repro.workloads.structures.util import load_item, store_item
+
+_HEADER_BYTES = 64  # length word + padding, on its own cache line
+
+
+class PersistentVector:
+    """Fixed-capacity persistent array of fixed-size items."""
+
+    def __init__(
+        self, system: MemorySystem, capacity: int, item_bytes: int = 64
+    ) -> None:
+        if capacity <= 0 or item_bytes <= 0:
+            raise ValueError("capacity and item size must be positive")
+        self.system = system
+        self.capacity = capacity
+        self.item_bytes = item_bytes
+        self.base = system.allocate(_HEADER_BYTES + capacity * item_bytes)
+        self._slots = self.base + _HEADER_BYTES
+        with system.transaction() as tx:
+            tx.store_u64(self.base, 0)  # length = 0
+
+    def _slot_addr(self, index: int) -> int:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"slot {index} out of range")
+        return self._slots + index * self.item_bytes
+
+    # -- operations (each runs inside the caller's transaction) ----------------
+
+    def length(self, tx: Transaction) -> int:
+        return tx.load_u64(self.base)
+
+    def insert(self, tx: Transaction, item: bytes) -> int:
+        """Append ``item``; returns its slot index."""
+        if len(item) != self.item_bytes:
+            raise ValueError(
+                f"item must be exactly {self.item_bytes} bytes"
+            )
+        length = tx.load_u64(self.base)
+        if length >= self.capacity:
+            raise CapacityError("vector full")
+        store_item(tx, self._slot_addr(length), item)
+        tx.store_u64(self.base, length + 1)
+        return length
+
+    def update(self, tx: Transaction, index: int, item: bytes) -> None:
+        """Overwrite slot ``index`` in place."""
+        if len(item) != self.item_bytes:
+            raise ValueError(
+                f"item must be exactly {self.item_bytes} bytes"
+            )
+        store_item(tx, self._slot_addr(index), item)
+
+    def get(self, tx: Transaction, index: int) -> bytes:
+        return load_item(tx, self._slot_addr(index), self.item_bytes)

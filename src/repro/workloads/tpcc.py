@@ -1,0 +1,152 @@
+"""TPC-C new-order transactions over the N-Store backend (paper §IV-A).
+
+"In TPC-C, we use its new order transactions which are the most write
+intensive workloads" — Table III characterizes them as 10–35 stores per
+transaction with a roughly 40/60 write/read operation mix.  The schema
+keeps the tables a new-order transaction actually touches:
+
+* ``district``   — D_NEXT_O_ID read-modify-write;
+* ``customer``   — discount/credit read;
+* ``item``       — price and data reads per order line;
+* ``stock``      — quantity read-modify-write + ytd read per line;
+* ``orders``     — one 32-byte record insert;
+* ``order_line`` — one 16-byte record insert per line.
+
+Line counts are drawn uniformly from 2–10 so the per-transaction store
+count lands exactly in Table III's 10–35 window (word stores: 1 district
++ 4 order + 3 per line); reads land at ~60% of operations.  TPC-C's
+nominal 5–15 lines would push the store count past the paper's own
+characterization, so we match the characterization — the quantity the
+evaluation actually exercises.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common import rng as rng_util
+from repro.txn.system import MemorySystem
+from repro.workloads.nstore import Table
+
+# Tuple layouts (bytes, word multiples).
+_DISTRICT_BYTES = 64
+_CUSTOMER_BYTES = 64
+_ITEM_BYTES = 64
+_STOCK_BYTES = 64
+_ORDER_BYTES = 32  # o_id, d_id, c_id, ol_cnt
+_ORDER_LINE_BYTES = 16  # item id, quantity
+
+_NEXT_O_ID_OFF = 0
+_STOCK_QTY_OFF = 0
+_STOCK_YTD_OFF = 8
+
+_MIN_LINES = 2
+_MAX_LINES = 10
+
+
+class TPCCNewOrderWorkload:
+    """New-order transactions against one warehouse."""
+
+    name = "tpcc"
+
+    def __init__(
+        self,
+        system: MemorySystem,
+        *,
+        districts: int = 10,
+        items: int = 8192,
+        customers_per_district: int = 128,
+        seed: int = 0,
+    ) -> None:
+        self.system = system
+        self.districts = districts
+        self.items = items
+        self.customers = customers_per_district
+        self.district = Table(system, "district", _DISTRICT_BYTES)
+        self.customer = Table(system, "customer", _CUSTOMER_BYTES)
+        self.item = Table(system, "item", _ITEM_BYTES)
+        self.stock = Table(system, "stock", _STOCK_BYTES)
+        self.orders = Table(system, "orders", _ORDER_BYTES)
+        self.order_line = Table(system, "order_line", _ORDER_LINE_BYTES)
+        self._setup_rng = rng_util.make_rng(rng_util.derive(seed, "setup"))
+        self.new_orders = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def setup(self, core: int = 0) -> None:
+        """Load districts, customers, items, and stock."""
+        for d_id in range(self.districts):
+            with self.system.transaction(core) as tx:
+                row = bytearray(
+                    rng_util.random_bytes(self._setup_rng, _DISTRICT_BYTES)
+                )
+                row[_NEXT_O_ID_OFF : _NEXT_O_ID_OFF + 8] = (1).to_bytes(
+                    8, "little"
+                )
+                self.district.insert(tx, d_id, bytes(row))
+            for c_id in range(self.customers):
+                with self.system.transaction(core) as tx:
+                    self.customer.insert(
+                        tx,
+                        (d_id << 32) | c_id,
+                        rng_util.random_bytes(
+                            self._setup_rng, _CUSTOMER_BYTES
+                        ),
+                    )
+        for i_id in range(self.items):
+            with self.system.transaction(core) as tx:
+                self.item.insert(
+                    tx,
+                    i_id,
+                    rng_util.random_bytes(self._setup_rng, _ITEM_BYTES),
+                )
+            with self.system.transaction(core) as tx:
+                row = bytearray(
+                    rng_util.random_bytes(self._setup_rng, _STOCK_BYTES)
+                )
+                row[_STOCK_QTY_OFF : _STOCK_QTY_OFF + 8] = (100).to_bytes(
+                    8, "little"
+                )
+                row[_STOCK_YTD_OFF : _STOCK_YTD_OFF + 8] = (0).to_bytes(
+                    8, "little"
+                )
+                self.stock.insert(tx, i_id, bytes(row))
+
+    # -- one new-order transaction -----------------------------------------------------
+
+    def do_transaction(self, core: int, rng: random.Random) -> None:
+        d_id = rng.randrange(self.districts)
+        c_id = rng.randrange(self.customers)
+        ol_cnt = rng.randint(_MIN_LINES, _MAX_LINES)
+        lines = [
+            (rng.randrange(self.items), rng.randint(1, 10))
+            for _ in range(ol_cnt)
+        ]
+        with self.system.transaction(core) as tx:
+            # Customer: discount/credit read.
+            self.customer.read_slice(tx, (d_id << 32) | c_id, 0, 16)
+            # District: read and advance the order id (1 RMW store).
+            o_id = self.district.read_u64(tx, d_id, _NEXT_O_ID_OFF)
+            self.district.update_u64(tx, d_id, _NEXT_O_ID_OFF, o_id + 1)
+            # Orders: one record insert (4 word stores).
+            order_key = (d_id << 32) | o_id
+            header = (
+                o_id.to_bytes(8, "little")
+                + d_id.to_bytes(8, "little")
+                + c_id.to_bytes(8, "little")
+                + ol_cnt.to_bytes(8, "little")
+            )
+            self.orders.insert(tx, order_key, header)
+            # Lines: item reads, stock RMW, order-line insert.
+            for number, (i_id, qty) in enumerate(lines):
+                self.item.read_slice(tx, i_id, 0, 8)  # price
+                self.item.read_slice(tx, i_id, 8, 8)  # data
+                s_qty = self.stock.read_u64(tx, i_id, _STOCK_QTY_OFF)
+                self.stock.read_u64(tx, i_id, _STOCK_YTD_OFF)
+                new_qty = (
+                    s_qty - qty if s_qty >= qty + 10 else s_qty - qty + 91
+                )
+                self.stock.update_u64(tx, i_id, _STOCK_QTY_OFF, new_qty)
+                line = i_id.to_bytes(8, "little") + qty.to_bytes(8, "little")
+                self.order_line.insert(tx, (order_key << 8) | number, line)
+        self.new_orders += 1

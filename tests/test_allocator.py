@@ -1,0 +1,87 @@
+"""Persistent heap allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import AllocationError
+from repro.txn.allocator import PersistentHeap
+
+
+def test_basic_allocation_alignment():
+    heap = PersistentHeap(base=4096, limit=1 << 20)
+    addr = heap.allocate(10)
+    assert addr % 8 == 0
+    other = heap.allocate(10)
+    assert other >= addr + 16  # rounded to word multiple
+
+
+def test_free_list_reuse():
+    heap = PersistentHeap(base=4096, limit=1 << 20)
+    a = heap.allocate(64)
+    heap.free(a, 64)
+    assert heap.allocate(64) == a
+
+
+def test_size_classes_do_not_mix():
+    heap = PersistentHeap(base=4096, limit=1 << 20)
+    a = heap.allocate(64)
+    heap.free(a, 64)
+    b = heap.allocate(128)
+    assert b != a
+
+
+def test_exhaustion():
+    heap = PersistentHeap(base=0, limit=128)
+    heap.allocate(64)
+    heap.allocate(64)
+    with pytest.raises(AllocationError):
+        heap.allocate(8)
+
+
+def test_invalid_sizes_rejected():
+    heap = PersistentHeap()
+    with pytest.raises(AllocationError):
+        heap.allocate(0)
+    with pytest.raises(AllocationError):
+        heap.allocate(-8)
+
+
+def test_foreign_free_rejected():
+    heap = PersistentHeap(base=4096, limit=8192)
+    with pytest.raises(AllocationError):
+        heap.free(100, 8)
+
+
+def test_bad_range_rejected():
+    with pytest.raises(AllocationError):
+        PersistentHeap(base=100, limit=100)
+    with pytest.raises(AllocationError):
+        PersistentHeap(alignment=3)
+
+
+def test_counters():
+    heap = PersistentHeap(base=4096, limit=1 << 20)
+    a = heap.allocate(32)
+    heap.allocate(32)
+    heap.free(a, 32)
+    assert heap.allocations == 2
+    assert heap.frees == 1
+    assert heap.live_allocations == 1
+    assert heap.bytes_reserved == 64
+
+
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=512), min_size=1, max_size=100
+    )
+)
+def test_allocations_never_overlap(sizes):
+    heap = PersistentHeap(base=4096, limit=1 << 22)
+    spans = []
+    for size in sizes:
+        addr = heap.allocate(size)
+        for start, end in spans:
+            assert addr + size <= start or addr >= end, "overlap"
+        spans.append((addr, addr + size))
+        assert addr % 8 == 0

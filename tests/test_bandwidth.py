@@ -1,0 +1,115 @@
+"""Channel model: backlog, priority reads, utilization, drains."""
+
+import pytest
+
+from repro.nvm.bandwidth import ChannelModel
+
+
+@pytest.fixture
+def channel():
+    return ChannelModel(1.0)  # ~1.07 bytes/ns
+
+
+def test_transfer_time_scales_with_bytes(channel):
+    assert channel.transfer_time_ns(128) == pytest.approx(
+        2 * channel.transfer_time_ns(64)
+    )
+
+
+def test_idle_read_has_no_wait(channel):
+    done = channel.read(100.0, 64)
+    assert done == pytest.approx(100.0 + channel.transfer_time_ns(64))
+
+
+def test_queued_writes_accumulate_backlog(channel):
+    channel.write_queued(0.0, 1024)
+    channel.write_queued(0.0, 1024)
+    assert channel.backlog_ns == pytest.approx(
+        2 * channel.transfer_time_ns(1024)
+    )
+
+
+def test_backlog_drains_with_time(channel):
+    channel.write_queued(0.0, 1024)
+    service = channel.transfer_time_ns(1024)
+    channel.read(service / 2, 8)
+    assert channel.backlog_ns == pytest.approx(
+        service / 2, rel=0.05
+    )
+    channel.read(10 * service, 8)
+    assert channel.backlog_ns == 0.0
+
+
+def test_sync_write_waits_behind_backlog(channel):
+    channel.write_queued(0.0, 4096)
+    backlog = channel.backlog_ns
+    done = channel.write_sync(0.0, 64)
+    assert done == pytest.approx(
+        backlog + channel.transfer_time_ns(64)
+    )
+
+
+def test_drain_returns_backlog_horizon(channel):
+    channel.write_queued(0.0, 2048)
+    assert channel.drain(0.0) == pytest.approx(channel.backlog_ns)
+    # After draining logically, waiting that long clears the backlog.
+    horizon = channel.drain(0.0)
+    assert channel.drain(horizon) == pytest.approx(horizon)
+
+
+def test_utilization_rises_with_traffic(channel):
+    assert channel.utilization() == 0.0
+    for i in range(100):
+        channel.write_queued(i * 10.0, 4096)
+    assert channel.utilization() > 0.3
+
+
+def test_utilization_decays_when_idle(channel):
+    for i in range(50):
+        channel.write_queued(i * 10.0, 4096)
+    busy = channel.utilization()
+    channel.read(1e7, 8)  # much later
+    assert channel.utilization() < busy
+
+
+def test_read_contention_grows_with_utilization():
+    quiet = ChannelModel(1.0)
+    loaded = ChannelModel(1.0)
+    for i in range(200):
+        loaded.write_queued(i * 5.0, 4096)
+    t_quiet = quiet.read(2000.0, 64) - 2000.0
+    t_loaded = loaded.read(2000.0, 64) - 2000.0
+    assert t_loaded > t_quiet
+
+
+def test_out_of_order_arrivals_do_not_create_phantom_queues(channel):
+    # A thread far in the future reserves...
+    channel.write_queued(1_000_000.0, 64)
+    # ... and a laggard thread's read at an earlier timestamp must not
+    # wait a million nanoseconds (the old busy-until artifact).
+    done = channel.read(10.0, 64)
+    assert done - 10.0 < 1000.0
+
+
+def test_stats_accumulate(channel):
+    channel.read(0.0, 64)
+    channel.write_queued(0.0, 64)
+    channel.write_sync(0.0, 64)
+    assert channel.stats.reservations == 3
+    assert channel.stats.bytes_transferred == 192
+    assert channel.stats.busy_ns > 0
+
+
+def test_zero_byte_transfers_are_free(channel):
+    assert channel.read(5.0, 0) == 5.0
+    assert channel.write_queued(5.0, 0) == 5.0
+    assert channel.write_sync(5.0, 0) == 5.0
+    assert channel.stats.reservations == 0
+
+
+def test_reset_clears_stats_not_backlog(channel):
+    channel.write_queued(0.0, 4096)
+    backlog = channel.backlog_ns
+    channel.reset()
+    assert channel.stats.reservations == 0
+    assert channel.backlog_ns == backlog

@@ -1,0 +1,132 @@
+"""Set-associative cache level: LRU, eviction, invalidation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.memhier.cache import CacheLevel, LineFlags
+
+
+def tiny_cache(ways=2, sets=2):
+    return CacheLevel(CacheConfig("T", sets * ways * 64, ways))
+
+
+def test_miss_then_hit():
+    cache = tiny_cache()
+    assert cache.lookup(0) is None
+    cache.insert(0)
+    assert cache.lookup(0) is not None
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_lru_victim_selection():
+    cache = tiny_cache(ways=2, sets=1)
+    cache.insert(0)
+    cache.insert(64)
+    cache.lookup(0)  # refresh 0: now 64 is LRU
+    victim = cache.insert(128)
+    assert victim is not None
+    assert victim.line_addr == 64
+
+
+def test_insert_existing_refreshes_without_eviction():
+    cache = tiny_cache(ways=2, sets=1)
+    cache.insert(0)
+    cache.insert(64)
+    assert cache.insert(0) is None
+    victim = cache.insert(128)
+    assert victim.line_addr == 64  # 0 was refreshed by reinsertion
+
+
+def test_different_sets_do_not_interfere():
+    cache = tiny_cache(ways=1, sets=2)
+    cache.insert(0)  # set 0
+    assert cache.insert(64) is None  # set 1
+    assert cache.contains(0)
+
+
+def test_victim_carries_flags():
+    cache = tiny_cache(ways=1, sets=1)
+    cache.insert(0, LineFlags(dirty=True, persistent=True, tx_id=9))
+    victim = cache.insert(64)
+    assert victim.dirty and victim.persistent and victim.tx_id == 9
+
+
+def test_invalidate():
+    cache = tiny_cache()
+    cache.insert(0, LineFlags(dirty=True))
+    flags = cache.invalidate(0)
+    assert flags is not None and flags.dirty
+    assert not cache.contains(0)
+    assert cache.invalidate(0) is None
+
+
+def test_contains_has_no_side_effects():
+    cache = tiny_cache()
+    cache.insert(0)
+    hits, misses = cache.hits, cache.misses
+    assert cache.contains(0)
+    assert not cache.contains(640)
+    assert (cache.hits, cache.misses) == (hits, misses)
+
+
+def test_occupancy_and_iteration():
+    cache = tiny_cache()
+    cache.insert(0)
+    cache.insert(64)
+    assert cache.occupancy == 2
+    assert sorted(cache.iter_lines()) == [0, 64]
+
+
+def test_miss_ratio():
+    cache = tiny_cache()
+    cache.lookup(0)
+    cache.insert(0)
+    cache.lookup(0)
+    assert cache.miss_ratio == pytest.approx(0.5)
+
+
+def test_clear_and_reset():
+    cache = tiny_cache()
+    cache.insert(0)
+    cache.lookup(0)
+    cache.clear()
+    assert cache.occupancy == 0
+    cache.reset_stats()
+    assert cache.hits == 0 and cache.misses == 0
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=31), min_size=1, max_size=200
+    )
+)
+def test_lru_matches_reference_model(accesses):
+    """The cache must match a straightforward per-set LRU list model."""
+    ways, sets = 2, 2
+    cache = tiny_cache(ways=ways, sets=sets)
+    model = {s: [] for s in range(sets)}
+    for line_no in accesses:
+        line = line_no * 64
+        set_index = line_no % sets
+        lru = model[set_index]
+        if cache.lookup(line) is not None:
+            assert line in lru
+            lru.remove(line)
+            lru.append(line)
+        else:
+            assert line not in lru
+            victim = cache.insert(line)
+            if len(lru) == ways:
+                expected_victim = lru.pop(0)
+                assert victim is not None
+                assert victim.line_addr == expected_victim
+            else:
+                assert victim is None
+            lru.append(line)
+    for s in range(sets):
+        for line in model[s]:
+            assert cache.contains(line)

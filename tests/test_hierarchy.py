@@ -1,0 +1,170 @@
+"""Cache hierarchy: fills, evictions, persistent bits, crash."""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.common.errors import AddressError
+from repro.common.units import KB
+from repro.memhier.hierarchy import CacheHierarchy
+
+
+class Harness:
+    """A hierarchy wired to an in-memory backing store."""
+
+    def __init__(self, config=None):
+        self.config = config or SystemConfig.small()
+        self.backing = {}
+        self.fills = []
+        self.evictions = []
+        self.hierarchy = CacheHierarchy(
+            self.config, self._fill, self._evict
+        )
+
+    def _fill(self, line_addr, now_ns):
+        self.fills.append(line_addr)
+        return self.backing.get(line_addr, bytes(64)), 50.0
+
+    def _evict(self, line_addr, data, dirty, persistent, tx_id, now_ns):
+        self.evictions.append((line_addr, dirty, persistent, tx_id))
+        if dirty:
+            self.backing[line_addr] = data
+
+
+@pytest.fixture
+def h():
+    return Harness()
+
+
+def test_store_then_load_round_trip(h):
+    h.hierarchy.store(0, 128, b"payload!", 0.0)
+    data, outcome = h.hierarchy.load(0, 128, 8, 1.0)
+    assert data == b"payload!"
+    assert outcome.hit_level == "L1"
+
+
+def test_first_access_misses_to_memory(h):
+    _, outcome = h.hierarchy.load(0, 0, 8, 0.0)
+    assert outcome.hit_level == "MEM"
+    assert outcome.llc_miss
+    assert h.fills == [0]
+    assert outcome.latency_ns > 50.0
+
+
+def test_fill_latency_included(h):
+    _, miss = h.hierarchy.load(0, 0, 8, 0.0)
+    _, hit = h.hierarchy.load(0, 0, 8, 1.0)
+    assert miss.latency_ns > hit.latency_ns
+
+
+def test_l2_and_llc_hit_levels(h):
+    cfg = h.config
+    h.hierarchy.load(0, 0, 8, 0.0)
+    # Evict from L1 by filling its sets with conflicting lines.
+    l1_span = cfg.l1.num_sets * 64
+    for i in range(1, cfg.l1.ways + 1):
+        h.hierarchy.load(0, i * l1_span, 8, 0.0)
+    _, outcome = h.hierarchy.load(0, 0, 8, 0.0)
+    assert outcome.hit_level in ("L2", "LLC")
+
+
+def test_other_core_hits_shared_llc(h):
+    h.hierarchy.load(0, 0, 8, 0.0)
+    _, outcome = h.hierarchy.load(1, 0, 8, 0.0)
+    assert outcome.hit_level == "LLC"
+
+
+def test_dirty_eviction_delivers_data(h):
+    h.hierarchy.store(0, 0, b"A" * 64, 0.0)
+    # Thrash the LLC until line 0 is evicted.
+    llc_lines = h.config.llc.num_lines
+    for i in range(1, llc_lines * 2):
+        h.hierarchy.load(0, i * 64, 8, 0.0)
+    assert any(addr == 0 and dirty for addr, dirty, _, _ in h.evictions)
+    # The write-back reached the backing store.
+    data, _ = h.hierarchy.load(0, 0, 8, 0.0)
+    assert data == b"A" * 8
+
+
+def test_persistent_bit_travels_with_eviction(h):
+    h.hierarchy.store(0, 0, b"B" * 8, 0.0, persistent=True, tx_id=42)
+    for i in range(1, h.config.llc.num_lines * 2):
+        h.hierarchy.load(0, i * 64, 8, 0.0)
+    match = [e for e in h.evictions if e[0] == 0]
+    assert match and match[0][2] is True and match[0][3] == 42
+
+
+def test_inclusive_back_invalidation(h):
+    h.hierarchy.load(0, 0, 8, 0.0)  # in core 0's L1 and the LLC
+    for i in range(1, h.config.llc.num_lines * 2):
+        h.hierarchy.load(1, i * 64, 8, 0.0)  # thrash from core 1
+    if not h.hierarchy.is_resident(0):
+        # After the LLC eviction, core 0's L1 must not still hold it.
+        _, outcome = h.hierarchy.load(0, 0, 8, 0.0)
+        assert outcome.hit_level == "MEM"
+
+
+def test_writeback_line_keeps_line_resident(h):
+    h.hierarchy.store(0, 0, b"C" * 8, 0.0)
+    assert h.hierarchy.writeback_line(0, 1.0)
+    assert h.hierarchy.is_resident(0)
+    assert not h.hierarchy.writeback_line(0, 2.0)  # now clean
+    assert h.backing[0][:8] == b"C" * 8
+
+
+def test_flush_line_invalidates(h):
+    h.hierarchy.store(0, 0, b"D" * 8, 0.0)
+    assert h.hierarchy.flush_line(0, 1.0)
+    assert not h.hierarchy.is_resident(0)
+    assert h.backing[0][:8] == b"D" * 8
+
+
+def test_flush_clean_line_returns_false(h):
+    h.hierarchy.load(0, 0, 8, 0.0)
+    assert not h.hierarchy.flush_line(0, 1.0)
+
+
+def test_dirty_lines_enumeration(h):
+    h.hierarchy.store(0, 0, b"E" * 8, 0.0, persistent=True, tx_id=7)
+    h.hierarchy.load(0, 64, 8, 0.0)
+    dirty = h.hierarchy.dirty_lines()
+    assert len(dirty) == 1
+    line, data, flags = dirty[0]
+    assert line == 0 and data[:8] == b"E" * 8 and flags.tx_id == 7
+
+
+def test_crash_loses_everything(h):
+    h.hierarchy.store(0, 0, b"F" * 8, 0.0)
+    h.hierarchy.crash()
+    assert not h.hierarchy.is_resident(0)
+    data, outcome = h.hierarchy.load(0, 0, 8, 0.0)
+    assert outcome.hit_level == "MEM"
+    assert data == bytes(8)  # the dirty data never reached backing
+
+
+def test_line_crossing_accesses_rejected(h):
+    with pytest.raises(AddressError):
+        h.hierarchy.load(0, 60, 8, 0.0)
+    with pytest.raises(AddressError):
+        h.hierarchy.store(0, 60, b"12345678", 0.0)
+    with pytest.raises(AddressError):
+        h.hierarchy.store(0, 0, b"", 0.0)
+
+
+def test_bad_core_rejected(h):
+    with pytest.raises(AddressError):
+        h.hierarchy.load(99, 0, 8, 0.0)
+
+
+def test_stats_track_miss_ratio(h):
+    h.hierarchy.load(0, 0, 8, 0.0)
+    h.hierarchy.load(0, 0, 8, 1.0)
+    assert h.hierarchy.stats.llc_misses == 1
+    assert 0 < h.hierarchy.stats.llc_miss_ratio <= 1.0
+
+
+def test_fill_must_return_full_line():
+    config = SystemConfig.small()
+    bad = CacheHierarchy(config, lambda a, t: (b"short", 0.0),
+                         lambda *args: None)
+    with pytest.raises(AddressError):
+        bad.load(0, 0, 8, 0.0)

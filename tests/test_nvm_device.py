@@ -1,0 +1,129 @@
+"""NVM device: functional byte plane, timing, energy, wear."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import NVMConfig
+from repro.common.errors import AddressError
+from repro.common.units import MB
+from repro.nvm.device import NVMDevice
+
+
+@pytest.fixture
+def device():
+    return NVMDevice(NVMConfig(capacity=16 * MB))
+
+
+class TestFunctionalPlane:
+    def test_fresh_device_reads_zero(self, device):
+        assert device.peek(0, 16) == b"\x00" * 16
+
+    def test_poke_peek_round_trip(self, device):
+        device.poke(100, b"hello world")
+        assert device.peek(100, 11) == b"hello world"
+
+    def test_poke_across_page_boundary(self, device):
+        data = bytes(range(200))
+        device.poke(4000, data)
+        assert device.peek(4000, 200) == data
+
+    def test_peek_across_untouched_pages(self, device):
+        device.poke(4095, b"x")
+        assert device.peek(4090, 10) == b"\x00" * 5 + b"x" + b"\x00" * 4
+
+    def test_out_of_range_rejected(self, device):
+        with pytest.raises(AddressError):
+            device.peek(16 * MB, 1)
+        with pytest.raises(AddressError):
+            device.poke(-1, b"a")
+        with pytest.raises(AddressError):
+            device.peek(0, 0)
+
+    def test_sparse_footprint(self, device):
+        device.poke(0, b"a")
+        device.poke(8 * MB, b"b")
+        assert device.touched_bytes == 2 * 4096
+
+
+class TestTimedPlane:
+    def test_read_returns_data_and_timing(self, device):
+        device.poke(64, b"abcdefgh")
+        data, result = device.read(64, 8, now_ns=100.0)
+        assert data == b"abcdefgh"
+        assert result.completion_ns >= 100.0 + device.config.read_latency_ns
+        assert device.stats.reads == 1
+        assert device.stats.bytes_read == 8
+
+    def test_write_latency_exceeds_read(self, device):
+        w = device.write(0, b"x" * 64, 0.0, queued=False)
+        device2 = NVMDevice(NVMConfig(capacity=16 * MB))
+        _, r = device2.read(0, 64, 0.0)
+        assert w.latency_ns > r.latency_ns
+
+    def test_write_counts_bytes(self, device):
+        device.write(0, b"x" * 100, 0.0)
+        assert device.stats.bytes_written == 100
+        assert device.stats.writes == 1
+
+    def test_empty_write_is_free(self, device):
+        result = device.write(0, b"", 5.0)
+        assert result.latency_ns == 0.0
+        assert device.stats.writes == 0
+
+    def test_row_buffer_hits_tracked(self, device):
+        device.read(0, 8, 0.0)
+        _, second = device.read(8, 8, 1.0)
+        assert second.row_buffer_hit
+        _, far = device.read(1 * MB, 8, 2.0)
+        assert not far.row_buffer_hit
+
+
+class TestAccounting:
+    def test_energy_accumulates(self, device):
+        device.write(0, b"x" * 64, 0.0)
+        device.read(0, 64, 10.0)
+        assert device.energy.write_pj > 0
+        assert device.energy.read_pj > 0
+
+    def test_wear_tracks_writes(self, device):
+        device.write(0, b"x" * 64, 0.0)
+        assert device.wear.total_bytes == 64
+
+    def test_reset_stats_keeps_content(self, device):
+        device.write(0, b"keep me!", 0.0)
+        device.reset_stats()
+        assert device.stats.bytes_written == 0
+        assert device.energy.total_pj == 0
+        assert device.peek(0, 8) == b"keep me!"
+
+    def test_clear_erases_content(self, device):
+        device.write(0, b"gone", 0.0)
+        device.clear()
+        assert device.peek(0, 4) == b"\x00" * 4
+
+
+@given(
+    st.integers(min_value=0, max_value=15 * MB),
+    st.binary(min_size=1, max_size=512),
+)
+def test_poke_peek_property(addr, data):
+    device = NVMDevice(NVMConfig(capacity=16 * MB))
+    device.poke(addr, data)
+    assert device.peek(addr, len(data)) == data
+
+
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=1 * MB),
+    st.binary(min_size=1, max_size=64),
+), min_size=1, max_size=20))
+def test_overlapping_pokes_last_writer_wins(writes):
+    device = NVMDevice(NVMConfig(capacity=16 * MB))
+    shadow = bytearray(2 * MB)
+    for addr, data in writes:
+        device.poke(addr, data)
+        shadow[addr : addr + len(data)] = data
+    for addr, data in writes:
+        assert device.peek(addr, len(data)) == bytes(
+            shadow[addr : addr + len(data)]
+        )

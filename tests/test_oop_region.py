@@ -1,0 +1,185 @@
+"""The log-structured OOP region: allocation, states, generations."""
+
+import pytest
+
+from repro.common.config import GCConfig, HoopConfig, NVMConfig, SystemConfig
+from repro.common.errors import AddressError, CapacityError
+from repro.common.units import KB, MB
+from repro.core.oop_region import BlockState, OOPRegion
+from repro.memctrl.port import MemoryPort
+from repro.nvm.device import NVMDevice
+
+
+def small_region():
+    config = SystemConfig.small(nvm_capacity=16 * MB)
+    device = NVMDevice(config.nvm)
+    return OOPRegion(config, MemoryPort(device)), config
+
+
+@pytest.fixture
+def region():
+    return small_region()[0]
+
+
+class TestGeometry:
+    def test_block_count(self, region):
+        assert region.num_blocks >= 2
+        assert region.slots_per_block == (64 * KB) // 128 - 1
+
+    def test_slice_addressing_round_trip(self, region):
+        index = region.slice_index(1, 5)
+        assert region.slice_location(index) == (1, 5)
+        addr = region.slice_addr(index)
+        assert addr == region.block_base(1) + 6 * 128
+
+    def test_out_of_range_rejected(self, region):
+        with pytest.raises(AddressError):
+            region.block_base(region.num_blocks)
+        with pytest.raises(AddressError):
+            region.slice_location(-1)
+        with pytest.raises(AddressError):
+            region.slice_index(0, region.slots_per_block)
+
+
+class TestAllocation:
+    def test_sequential_within_block(self, region):
+        first = region.allocate_slice(0.0)
+        second = region.allocate_slice(0.0)
+        assert second == first + 1
+
+    def test_block_opens_as_inuse(self, region):
+        index = region.allocate_slice(0.0)
+        block, _ = region.slice_location(index)
+        assert region.state_of(block) == BlockState.INUSE
+
+    def test_block_fills_to_full(self, region):
+        for _ in range(region.slots_per_block):
+            index = region.allocate_slice(0.0)
+        block, _ = region.slice_location(index)
+        assert region.state_of(block) == BlockState.FULL
+        assert region.full_blocks() == [block]
+
+    def test_streams_use_separate_blocks(self, region):
+        data_index = region.allocate_slice(0.0, stream="data")
+        addr_index = region.allocate_slice(0.0, stream="addr")
+        data_block, _ = region.slice_location(data_index)
+        addr_block, _ = region.slice_location(addr_index)
+        assert data_block != addr_block
+        assert region.stream_of(data_block) == "data"
+        assert region.stream_of(addr_block) == "addr"
+
+    def test_unknown_stream_rejected(self, region):
+        with pytest.raises(AddressError):
+            region.allocate_slice(0.0, stream="bogus")
+
+    def test_exhaustion_raises(self, region):
+        capacity = region.num_blocks * region.slots_per_block
+        for _ in range(capacity):
+            region.allocate_slice(0.0)
+        with pytest.raises(CapacityError):
+            region.allocate_slice(0.0)
+
+    def test_seal_active_block(self, region):
+        index = region.allocate_slice(0.0)
+        block, _ = region.slice_location(index)
+        assert region.seal_active_block(0.0) == block
+        assert region.state_of(block) == BlockState.FULL
+        assert region.seal_active_block(0.0) is None
+
+
+class TestReclamation:
+    def _fill_one_block(self, region):
+        for _ in range(region.slots_per_block):
+            index = region.allocate_slice(0.0)
+        block, _ = region.slice_location(index)
+        return block
+
+    def test_gc_transition_and_reclaim(self, region):
+        block = self._fill_one_block(region)
+        free_before = region.free_block_count()
+        region.begin_gc(block, 0.0)
+        assert region.state_of(block) == BlockState.GC
+        region.reclaim(block, 0.0)
+        assert region.state_of(block) == BlockState.UNUSED
+        assert region.free_block_count() == free_before + 1
+
+    def test_reclaim_requires_gc_state(self, region):
+        block = self._fill_one_block(region)
+        with pytest.raises(CapacityError):
+            region.reclaim(block, 0.0)
+
+    def test_gc_requires_full_state(self, region):
+        region.allocate_slice(0.0)
+        with pytest.raises(CapacityError):
+            region.begin_gc(0, 0.0)
+
+    def test_reclaim_bumps_generation(self, region):
+        block = self._fill_one_block(region)
+        gen = region.generation_of(block)
+        region.begin_gc(block, 0.0)
+        region.reclaim(block, 0.0)
+        assert region.generation_of(block) == gen + 1
+
+    def test_round_robin_reuse(self, region):
+        block = self._fill_one_block(region)
+        region.begin_gc(block, 0.0)
+        region.reclaim(block, 0.0)
+        # The freed block goes to the back of the rotation: the next
+        # allocations must come from blocks never used yet (wear leveling).
+        index = region.allocate_slice(0.0)
+        next_block, _ = region.slice_location(index)
+        assert next_block != block
+
+
+class TestCrashRebuild:
+    def test_rebuild_restores_states(self, region):
+        for _ in range(region.slots_per_block):
+            region.allocate_slice(0.0)
+        region.allocate_slice(0.0, stream="addr")
+        region.crash()
+        region.rebuild_from_nvm()
+        assert len(region.full_blocks()) == 1
+        addr_blocks = [
+            b
+            for b in range(region.num_blocks)
+            if region.stream_of(b) == "addr"
+        ]
+        assert len(addr_blocks) == 1
+
+    def test_rebuild_maps_gc_to_full(self, region):
+        for _ in range(region.slots_per_block):
+            index = region.allocate_slice(0.0)
+        block, _ = region.slice_location(index)
+        region.begin_gc(block, 0.0)
+        region.crash()
+        region.rebuild_from_nvm()
+        assert region.state_of(block) == BlockState.FULL
+
+    def test_clear_resets_and_bumps_generations(self, region):
+        index = region.allocate_slice(0.0)
+        block, _ = region.slice_location(index)
+        gen = region.generation_of(block)
+        region.clear(0.0)
+        assert region.state_of(block) == BlockState.UNUSED
+        assert region.free_block_count() == region.num_blocks
+        assert region.generation_of(block) == gen + 1
+
+    def test_fill_fraction(self, region):
+        assert region.fill_fraction == 0.0
+        region.allocate_slice(0.0)
+        assert region.fill_fraction == pytest.approx(1 / region.num_blocks)
+
+
+def test_region_requires_two_blocks():
+    config = SystemConfig.small(nvm_capacity=16 * MB)
+    hoop = HoopConfig(
+        oop_block_bytes=2 * MB,
+        oop_region_fraction=0.10,
+        mapping_table_bytes=64 * KB,
+        gc=GCConfig(period_ns=1e6),
+    )
+    config = config.replace(hoop=hoop, nvm=NVMConfig(capacity=16 * MB))
+    device = NVMDevice(config.nvm)
+    # 10% of 16 MB is 1.6 MB -> falls back to one 2 MB block -> too few.
+    with pytest.raises(CapacityError):
+        OOPRegion(config, MemoryPort(device))

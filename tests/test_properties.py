@@ -1,0 +1,144 @@
+"""System-level property tests (hypothesis) across schemes.
+
+These complement the unit tests with whole-system invariants:
+read-your-writes under arbitrary interleavings, GC transparency, and
+allocator/region safety under churn.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MemorySystem, SystemConfig
+
+SCHEMES = ["hoop", "opt-redo", "opt-undo", "osp", "lsm", "lad", "native"]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    scheme=st.sampled_from(SCHEMES),
+    seed=st.integers(min_value=0, max_value=2**16),
+    ops=st.integers(min_value=10, max_value=120),
+)
+def test_read_your_writes(scheme, seed, ops):
+    """Every load observes the latest committed (or own-tx) store."""
+    rng = random.Random(seed)
+    system = MemorySystem(SystemConfig.small(), scheme=scheme)
+    addrs = [system.allocate(64) for _ in range(12)]
+    model = {}
+    for _ in range(ops):
+        core = rng.randrange(4)
+        with system.transaction(core) as tx:
+            for _ in range(rng.randint(1, 5)):
+                addr = rng.choice(addrs) + 8 * rng.randrange(8)
+                if rng.random() < 0.6:
+                    value = rng.getrandbits(64).to_bytes(8, "little")
+                    tx.store(addr, value)
+                    model[addr] = value
+                else:
+                    expected = model.get(addr, bytes(8))
+                    assert tx.load(addr, 8) == expected, hex(addr)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    gc_every=st.integers(min_value=3, max_value=25),
+)
+def test_gc_is_transparent_to_readers(seed, gc_every):
+    """Forced GC at arbitrary points never changes what readers see."""
+    rng = random.Random(seed)
+    system = MemorySystem(SystemConfig.small(), scheme="hoop")
+    controller = system.scheme.controller
+    addrs = [system.allocate(64) for _ in range(10)]
+    model = {}
+    for i in range(80):
+        with system.transaction(rng.randrange(4)) as tx:
+            addr = rng.choice(addrs) + 8 * rng.randrange(8)
+            value = rng.getrandbits(64).to_bytes(8, "little")
+            tx.store(addr, value)
+            model[addr] = value
+        if i % gc_every == gc_every - 1:
+            controller.gc.run(system.now_ns, on_demand=True)
+        probe = rng.choice(list(model))
+        assert system.load(probe, 8, core=rng.randrange(4)) == model[probe]
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_oop_slices_reconstruct_exact_stream(seed):
+    """Recovery rebuilds exactly the final committed value of every word,
+    regardless of slice boundaries, duplicate words, and chain shapes."""
+    rng = random.Random(seed)
+    system = MemorySystem(SystemConfig.small(), scheme="hoop")
+    base = system.allocate(4096)
+    oracle = {}
+    for _ in range(30):
+        with system.transaction() as tx:
+            # Between 1 and 25 words: crosses slice boundaries freely.
+            for _ in range(rng.randint(1, 25)):
+                addr = base + 8 * rng.randrange(512)
+                value = rng.getrandbits(64).to_bytes(8, "little")
+                tx.store(addr, value)
+                oracle[addr] = value
+    system.crash()
+    system.recover(threads=rng.choice([1, 2, 4]))
+    for addr, value in oracle.items():
+        assert system.durable_state(addr, 8) == value
+
+
+def test_region_slices_never_alias_until_reclaimed():
+    """Live allocations are unique; reuse only after reclaim."""
+    from repro.common.units import MB
+    from repro.core.oop_region import OOPRegion
+    from repro.memctrl.port import MemoryPort
+    from repro.nvm.device import NVMDevice
+
+    config = SystemConfig.small(nvm_capacity=16 * MB)
+    region = OOPRegion(config, MemoryPort(NVMDevice(config.nvm)))
+    seen = set()
+    blocks = []
+    for _ in range(region.slots_per_block * 2):
+        index = region.allocate_slice(0.0)
+        assert index not in seen
+        seen.add(index)
+        block, _ = region.slice_location(index)
+        if block not in blocks:
+            blocks.append(block)
+    # Reclaim the first (full) block; only ITS indexes may ever recycle.
+    region.begin_gc(blocks[0], 0.0)
+    region.reclaim(blocks[0], 0.0)
+    live = {
+        index
+        for index in seen
+        if region.slice_location(index)[0] != blocks[0]
+    }
+    for _ in range(region.slots_per_block * (region.num_blocks - 2)):
+        index = region.allocate_slice(0.0)
+        assert index not in live, "aliased a live slice"
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_quiesce_equals_recovery_content(seed):
+    """Draining via GC and draining via crash+recovery agree exactly."""
+    def run(drain):
+        rng = random.Random(seed)
+        system = MemorySystem(SystemConfig.small(), scheme="hoop")
+        addrs = [system.allocate(64) for _ in range(8)]
+        touched = set()
+        for _ in range(60):
+            with system.transaction() as tx:
+                addr = rng.choice(addrs) + 8 * rng.randrange(8)
+                tx.store_u64(addr, rng.getrandbits(63))
+                touched.add(addr)
+        if drain == "gc":
+            system.scheme.quiesce(system.now_ns)
+        else:
+            system.crash()
+            system.recover(threads=2)
+        return {addr: system.durable_state(addr, 8) for addr in touched}
+
+    assert run("gc") == run("recovery")

@@ -1,0 +1,145 @@
+"""Opt-Redo and Opt-Undo scheme behaviours."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.units import MB
+from repro.nvm.device import NVMDevice
+from repro.schemes.redo import OptRedoScheme
+from repro.schemes.undo import OptUndoScheme
+
+
+def make(scheme_cls):
+    config = SystemConfig.small(nvm_capacity=16 * MB)
+    device = NVMDevice(config.nvm)
+    return scheme_cls(config, device)
+
+
+def run_tx(scheme, writes, core=0):
+    tx_id, now = scheme.tx_begin(core, 0.0)
+    for addr, value in writes:
+        line_addr = addr & ~63
+        line = bytearray(scheme.device.peek(line_addr, 64))
+        line[addr - line_addr : addr - line_addr + 8] = value
+        now = scheme.on_store(
+            core, tx_id, addr, 8, line_addr, bytes(line), now
+        )
+    return scheme.tx_end(core, tx_id, now), tx_id
+
+
+def word(i):
+    return i.to_bytes(8, "little")
+
+
+class TestOptRedo:
+    def test_data_not_in_place_before_checkpoint(self):
+        scheme = make(OptRedoScheme)
+        run_tx(scheme, [(0x1000, word(1))])
+        # Home still stale; the log holds the redo image.
+        assert scheme.device.peek(0x1000, 8) == bytes(8)
+
+    def test_fill_serves_committed_data_from_shadow(self):
+        scheme = make(OptRedoScheme)
+        run_tx(scheme, [(0x1000, word(2))])
+        data, extra = scheme.fill_line(0x1000, 0.0)
+        assert data[:8] == word(2)
+        assert scheme.shadow_hits == 1
+
+    def test_checkpoint_applies_in_place(self):
+        scheme = make(OptRedoScheme)
+        run_tx(scheme, [(0x1000, word(3))])
+        scheme.quiesce(0.0)
+        assert scheme.device.peek(0x1000, 8) == word(3)
+
+    def test_recovery_replays_committed(self):
+        scheme = make(OptRedoScheme)
+        run_tx(scheme, [(0x1000, word(4)), (0x2000, word(5))])
+        scheme.crash()
+        outcome = scheme.recover()
+        assert outcome.committed_transactions == 1
+        assert scheme.device.peek(0x1000, 8) == word(4)
+        assert scheme.device.peek(0x2000, 8) == word(5)
+
+    def test_recovery_discards_uncommitted(self):
+        scheme = make(OptRedoScheme)
+        tx_id, now = scheme.tx_begin(0, 0.0)
+        line = bytes(64)
+        scheme.on_store(0, tx_id, 0x1000, 8, 0x1000, line, now)
+        scheme.crash()
+        outcome = scheme.recover()
+        assert outcome.committed_transactions == 0
+        assert scheme.device.peek(0x1000, 8) == bytes(8)
+
+    def test_commit_latency_includes_drain_and_record(self):
+        scheme = make(OptRedoScheme)
+        done, _ = run_tx(scheme, [(0x1000 + 64 * i, word(i)) for i in range(4)])
+        assert done >= scheme.config.nvm.write_latency_ns
+
+    def test_log_traffic_two_lines_per_updated_line(self):
+        scheme = make(OptRedoScheme)
+        run_tx(scheme, [(0x1000, word(1)), (0x1008, word(2))])
+        # One updated line: 128 B log entry + 64 B commit record minimum.
+        assert scheme.device.stats.bytes_written >= 192
+
+    def test_persistent_eviction_dropped(self):
+        scheme = make(OptRedoScheme)
+        tx_id, _ = scheme.tx_begin(0, 0.0)
+        before = scheme.device.stats.bytes_written
+        scheme.on_evict(0x1000, b"x" * 64, True, True, tx_id, 0.0)
+        assert scheme.device.stats.bytes_written == before
+
+
+class TestOptUndo:
+    def test_pre_images_logged_once_per_line(self):
+        scheme = make(OptUndoScheme)
+        run_tx(
+            scheme,
+            [(0x1000, word(1)), (0x1008, word(2)), (0x2000, word(3))],
+        )
+        # Two distinct lines -> two ordering events.
+        assert scheme.stats.ordering_stalls == 2
+
+    def test_commit_writes_data_in_place(self):
+        scheme = make(OptUndoScheme)
+        run_tx(scheme, [(0x1000, word(7))])
+        assert scheme.device.peek(0x1000, 8) == word(7)
+
+    def test_rollback_restores_pre_image(self):
+        scheme = make(OptUndoScheme)
+        run_tx(scheme, [(0x1000, word(1))])  # committed: home holds 1
+        tx_id, now = scheme.tx_begin(0, 0.0)
+        line = bytearray(scheme.device.peek(0x1000, 64))
+        line[:8] = word(99)
+        now = scheme.on_store(0, tx_id, 0x1000, 8, 0x1000, bytes(line), now)
+        # Simulate the in-place write racing ahead (eviction-like) by the
+        # commit path of a crash: the undo image must restore word(1).
+        scheme.device.poke(0x1000, word(99))
+        scheme.crash()
+        outcome = scheme.recover()
+        assert outcome.rolled_back_transactions == 1
+        assert scheme.device.peek(0x1000, 8) == word(1)
+
+    def test_committed_txs_not_rolled_back(self):
+        scheme = make(OptUndoScheme)
+        run_tx(scheme, [(0x1000, word(5))])
+        scheme.crash()
+        outcome = scheme.recover()
+        assert outcome.committed_transactions == 1
+        assert scheme.device.peek(0x1000, 8) == word(5)
+
+    def test_undo_latency_above_redo(self):
+        undo = make(OptUndoScheme)
+        redo = make(OptRedoScheme)
+        writes = [(0x1000 + i * 64, word(i)) for i in range(4)]
+        undo_done, _ = run_tx(undo, list(writes))
+        redo_done, _ = run_tx(redo, list(writes))
+        assert undo_done >= redo_done
+
+    def test_fill_serves_open_tx_lines(self):
+        scheme = make(OptUndoScheme)
+        tx_id, now = scheme.tx_begin(0, 0.0)
+        line = bytearray(64)
+        line[:8] = word(8)
+        scheme.on_store(0, tx_id, 0x3000, 8, 0x3000, bytes(line), now)
+        data, _ = scheme.fill_line(0x3000, 0.0)
+        assert data[:8] == word(8)

@@ -1,0 +1,207 @@
+"""OSP, LSM, and LAD scheme behaviours."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.units import MB
+from repro.nvm.device import NVMDevice
+from repro.schemes.lad import LADScheme
+from repro.schemes.lsm import LSMScheme
+from repro.schemes.native import NativeScheme
+from repro.schemes.osp import OSPScheme
+
+
+def make(scheme_cls):
+    config = SystemConfig.small(nvm_capacity=16 * MB)
+    device = NVMDevice(config.nvm)
+    return scheme_cls(config, device)
+
+
+def run_tx(scheme, writes, core=0):
+    tx_id, now = scheme.tx_begin(core, 0.0)
+    for addr, value in writes:
+        line_addr = addr & ~63
+        line = bytearray(scheme.device.peek(line_addr, 64))
+        line[addr - line_addr : addr - line_addr + 8] = value
+        now = scheme.on_store(
+            core, tx_id, addr, 8, line_addr, bytes(line), now
+        )
+    return scheme.tx_end(core, tx_id, now), tx_id
+
+
+def word(i):
+    return i.to_bytes(8, "little")
+
+
+class TestOSP:
+    def test_commit_flips_to_new_data(self):
+        scheme = make(OSPScheme)
+        run_tx(scheme, [(0x1000, word(1))])
+        data, _ = scheme.fill_line(0x1000, 0.0)
+        assert data[:8] == word(1)
+
+    def test_old_copy_untouched_in_place(self):
+        scheme = make(OSPScheme)
+        scheme.device.poke(0x1000, word(7))
+        run_tx(scheme, [(0x1000, word(8))])
+        # Shadow paging: the home copy still holds the old version until
+        # the pair consolidates; reads go through the flip bit.
+        assert scheme.device.peek(0x1000, 8) == word(7)
+        data, _ = scheme.fill_line(0x1000, 0.0)
+        assert data[:8] == word(8)
+
+    def test_tlb_shootdown_charged(self):
+        scheme = make(OSPScheme)
+        done, _ = run_tx(scheme, [(0x1000, word(1))])
+        assert done >= 250.0
+        assert scheme.tlb_shootdowns == 1
+
+    def test_recovery_honours_flips(self):
+        scheme = make(OSPScheme)
+        scheme.device.poke(0x1000, word(1))
+        run_tx(scheme, [(0x1000, word(2))])
+        scheme.crash()
+        scheme.recover()
+        assert scheme.device.peek(0x1000, 8) == word(2)
+
+    def test_uncommitted_writes_invisible_after_crash(self):
+        scheme = make(OSPScheme)
+        scheme.device.poke(0x1000, word(1))
+        run_tx(scheme, [(0x1000, word(2))])
+        tx_id, now = scheme.tx_begin(0, 0.0)
+        line = bytearray(scheme.device.peek(0x1000, 64))
+        line[:8] = word(99)
+        scheme.on_store(0, tx_id, 0x1000, 8, 0x1000, bytes(line), now)
+        scheme.crash()  # before tx_end
+        scheme.recover()
+        assert scheme.device.peek(0x1000, 8) == word(2)
+
+    def test_consolidation_happens_under_repeated_flips(self):
+        scheme = make(OSPScheme)
+        for i in range(20):
+            run_tx(scheme, [(0x1000, word(i))])
+        assert scheme.consolidations > 0
+
+    def test_read_only_commit_free(self):
+        scheme = make(OSPScheme)
+        tx_id, now = scheme.tx_begin(0, 0.0)
+        done = scheme.tx_end(0, tx_id, now)
+        assert done == now
+
+
+class TestLSM:
+    def test_committed_data_via_index(self):
+        scheme = make(LSMScheme)
+        run_tx(scheme, [(0x1000, word(1))])
+        data, extra = scheme.fill_line(0x1000, 0.0)
+        assert data[:8] == word(1)
+        assert extra > 0  # the index walk costs hops
+
+    def test_home_stale_until_gc(self):
+        scheme = make(LSMScheme)
+        run_tx(scheme, [(0x1000, word(2))])
+        assert scheme.device.peek(0x1000, 8) == bytes(8)
+        scheme.quiesce(0.0)
+        assert scheme.device.peek(0x1000, 8) == word(2)
+
+    def test_gc_coalesces(self):
+        scheme = make(LSMScheme)
+        for i in range(10):
+            run_tx(scheme, [(0x1000, word(i))])
+        scheme.quiesce(0.0)
+        assert scheme.words_scanned == 10
+        assert scheme.words_migrated == 1
+        assert scheme.device.peek(0x1000, 8) == word(9)
+
+    def test_recovery_replays_committed_extents(self):
+        scheme = make(LSMScheme)
+        run_tx(
+            scheme,
+            [(0x1000, word(1)), (0x1008, word(2)), (0x3000, word(3))],
+        )
+        scheme.crash()
+        outcome = scheme.recover()
+        assert outcome.committed_transactions == 1
+        assert scheme.device.peek(0x1000, 8) == word(1)
+        assert scheme.device.peek(0x1008, 8) == word(2)
+        assert scheme.device.peek(0x3000, 8) == word(3)
+
+    def test_uncommitted_lost_on_crash(self):
+        scheme = make(LSMScheme)
+        tx_id, now = scheme.tx_begin(0, 0.0)
+        line = bytearray(64)
+        line[:8] = word(5)
+        scheme.on_store(0, tx_id, 0x1000, 8, 0x1000, bytes(line), now)
+        scheme.crash()
+        scheme.recover()
+        assert scheme.device.peek(0x1000, 8) == bytes(8)
+
+    def test_index_dies_with_crash(self):
+        scheme = make(LSMScheme)
+        run_tx(scheme, [(0x1000, word(1))])
+        assert len(scheme.index) == 1
+        scheme.crash()
+        assert len(scheme.index) == 0
+
+    def test_within_tx_rewrite_latest_wins_after_recovery(self):
+        scheme = make(LSMScheme)
+        run_tx(scheme, [(0x1000, word(1)), (0x1000, word(2))])
+        scheme.crash()
+        scheme.recover()
+        assert scheme.device.peek(0x1000, 8) == word(2)
+
+
+class TestLAD:
+    def test_commit_is_in_place(self):
+        scheme = make(LADScheme)
+        run_tx(scheme, [(0x1000, word(1))])
+        assert scheme.device.peek(0x1000, 8) == word(1)
+
+    def test_uncommitted_stays_in_queue(self):
+        scheme = make(LADScheme)
+        tx_id, now = scheme.tx_begin(0, 0.0)
+        line = bytearray(64)
+        line[:8] = word(9)
+        scheme.on_store(0, tx_id, 0x1000, 8, 0x1000, bytes(line), now)
+        assert scheme.device.peek(0x1000, 8) == bytes(8)
+        data, _ = scheme.fill_line(0x1000, 0.0)
+        assert data[:8] == word(9)  # served from the controller queue
+
+    def test_crash_drops_uncommitted(self):
+        scheme = make(LADScheme)
+        tx_id, now = scheme.tx_begin(0, 0.0)
+        line = bytearray(64)
+        line[:8] = word(9)
+        scheme.on_store(0, tx_id, 0x1000, 8, 0x1000, bytes(line), now)
+        scheme.crash()
+        assert scheme.recover().scheme == "lad"
+        assert scheme.device.peek(0x1000, 8) == bytes(8)
+
+    def test_queue_overflow_forces_early_writes(self):
+        scheme = make(LADScheme)
+        writes = [(0x1000 + i * 64, word(i)) for i in range(80)]
+        run_tx(scheme, writes)
+        assert scheme.queue_overflows > 0
+
+    def test_line_granularity_traffic(self):
+        scheme = make(LADScheme)
+        run_tx(scheme, [(0x1000, word(1)), (0x1008, word(2))])
+        # One line + one commit record.
+        assert scheme.device.stats.bytes_written == 128
+
+
+class TestNative:
+    def test_no_persistence_work(self):
+        scheme = make(NativeScheme)
+        done, _ = run_tx(scheme, [(0x1000, word(1))])
+        assert done == 0.0
+        assert scheme.device.stats.bytes_written == 0
+
+    def test_eviction_writes_home(self):
+        scheme = make(NativeScheme)
+        scheme.on_evict(0x1000, b"n" * 64, True, False, 0, 0.0)
+        assert scheme.device.peek(0x1000, 64) == b"n" * 64
+
+    def test_recover_is_noop(self):
+        scheme = make(NativeScheme)
+        assert scheme.recover() is None

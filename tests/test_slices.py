@@ -1,0 +1,216 @@
+"""Memory-slice codecs: bit-exact round trips and corruption detection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import CorruptionError
+from repro.core.slices import (
+    KIND_ADDR,
+    KIND_DATA,
+    KIND_FREE,
+    SLICE_BYTES,
+    STATE_LAST,
+    STATE_OPEN,
+    AddressSlice,
+    AddressSliceEntry,
+    DataSlice,
+    SliceCodec,
+)
+
+
+@pytest.fixture
+def codec():
+    return SliceCodec(home_addr_bits=40)
+
+
+def words_strategy(max_words=8):
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**36).map(lambda w: w * 8),
+            st.binary(min_size=8, max_size=8),
+        ),
+        min_size=1,
+        max_size=max_words,
+        unique_by=lambda t: t[0],
+    )
+
+
+class TestDataSlices:
+    def test_round_trip(self, codec):
+        ds = DataSlice(
+            tx_id=7,
+            words=((0x1000, b"ABCDEFGH"), (0x2008, b"12345678")),
+            is_start=True,
+            prev_delta=None,
+            state=STATE_LAST,
+            generation=3,
+        )
+        raw = codec.encode_data(ds)
+        assert len(raw) == SLICE_BYTES
+        back = codec.decode_data(raw)
+        assert back == ds
+
+    def test_prev_delta_round_trip(self, codec):
+        ds = DataSlice(tx_id=1, words=((8, b"x" * 8),), prev_delta=12345)
+        assert codec.decode_data(codec.encode_data(ds)).prev_delta == 12345
+
+    def test_kind_tag(self, codec):
+        raw = codec.encode_data(
+            DataSlice(tx_id=1, words=((8, b"x" * 8),))
+        )
+        assert SliceCodec.kind_of(raw) == KIND_DATA
+
+    def test_full_packing_eight_words(self, codec):
+        words = tuple((i * 8, bytes([i]) * 8) for i in range(8))
+        ds = DataSlice(tx_id=2, words=words)
+        assert codec.decode_data(codec.encode_data(ds)).words == words
+
+    def test_too_many_words_rejected(self, codec):
+        words = tuple((i * 8, b"x" * 8) for i in range(9))
+        with pytest.raises(ValueError):
+            DataSlice(tx_id=1, words=words) and codec.encode_data(
+                DataSlice(tx_id=1, words=words)
+            )
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(ValueError):
+            DataSlice(tx_id=1, words=((3, b"x" * 8),))
+
+    def test_wrong_word_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataSlice(tx_id=1, words=((8, b"short"),))
+
+    def test_address_beyond_width_rejected(self, codec):
+        ds = DataSlice(tx_id=1, words=((2**40 * 8, b"x" * 8),))
+        with pytest.raises(ValueError):
+            codec.encode_data(ds)
+
+    def test_corruption_detected(self, codec):
+        raw = bytearray(
+            codec.encode_data(DataSlice(tx_id=1, words=((8, b"x" * 8),)))
+        )
+        raw[70] ^= 0xFF  # flip bits in the metadata area
+        with pytest.raises(CorruptionError):
+            codec.decode_data(bytes(raw))
+
+    def test_wrong_kind_rejected(self, codec):
+        raw = codec.encode_addr(AddressSlice())
+        with pytest.raises(CorruptionError):
+            codec.decode_data(raw)
+
+    def test_free_slice_classified(self):
+        assert SliceCodec.kind_of(bytes(SLICE_BYTES)) == KIND_FREE
+
+    def test_wrong_length_rejected(self, codec):
+        with pytest.raises(CorruptionError):
+            codec.decode_data(b"\x00" * 10)
+
+    @given(
+        words_strategy(),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.booleans(),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=2**24 - 2)),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_round_trip_property(self, words, tx_id, start, delta, gen):
+        codec = SliceCodec(home_addr_bits=40)
+        ds = DataSlice(
+            tx_id=tx_id,
+            words=tuple(words),
+            is_start=start,
+            prev_delta=delta,
+            state=STATE_OPEN,
+            generation=gen,
+        )
+        assert codec.decode_data(codec.encode_data(ds)) == ds
+
+
+class TestAddressSlices:
+    def test_round_trip(self, codec):
+        page = AddressSlice(
+            entries=[
+                AddressSliceEntry(tx_id=1, tail_slice=100, committed=True),
+                AddressSliceEntry(
+                    tx_id=2, tail_slice=200, committed=False, retired=True
+                ),
+            ],
+            sequence=5,
+        )
+        back = codec.decode_addr(codec.encode_addr(page))
+        assert back.entries == page.entries
+        assert back.sequence == 5
+
+    def test_kind_tag(self, codec):
+        assert SliceCodec.kind_of(codec.encode_addr(AddressSlice())) == (
+            KIND_ADDR
+        )
+
+    def test_capacity(self, codec):
+        assert codec.entries_per_addr_slice >= 13
+        entries = [
+            AddressSliceEntry(tx_id=i, tail_slice=i)
+            for i in range(codec.entries_per_addr_slice)
+        ]
+        page = AddressSlice(entries=entries)
+        assert codec.decode_addr(codec.encode_addr(page)).entries == entries
+
+    def test_overflow_rejected(self, codec):
+        entries = [
+            AddressSliceEntry(tx_id=i, tail_slice=i)
+            for i in range(codec.entries_per_addr_slice + 1)
+        ]
+        with pytest.raises(ValueError):
+            codec.encode_addr(AddressSlice(entries=entries))
+
+    def test_corruption_detected(self, codec):
+        raw = bytearray(
+            codec.encode_addr(
+                AddressSlice(
+                    entries=[AddressSliceEntry(tx_id=1, tail_slice=1)]
+                )
+            )
+        )
+        raw[10] ^= 0x55
+        with pytest.raises(CorruptionError):
+            codec.decode_addr(bytes(raw))
+
+    def test_huge_tail_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode_addr(
+                AddressSlice(
+                    entries=[AddressSliceEntry(tx_id=1, tail_slice=2**34)]
+                )
+            )
+
+
+class TestVariablePacking:
+    def test_40_bit_packs_eight(self):
+        assert SliceCodec.for_home_bits(40).words_per_slice == 8
+
+    def test_64_bit_packs_seven(self):
+        # The paper's large-capacity case: wider addresses shrink N while
+        # the slice still fits two cache lines.
+        codec = SliceCodec.for_home_bits(64)
+        assert codec.words_per_slice == 7
+
+    def test_packing_monotonically_shrinks(self):
+        previous = 9
+        for bits in (32, 40, 48, 56, 64):
+            n = SliceCodec.for_home_bits(bits).words_per_slice
+            assert n <= previous
+            previous = n
+
+    def test_small_codec_round_trip(self):
+        codec = SliceCodec.for_home_bits(64)
+        words = tuple(
+            (i * 8, bytes([i]) * 8) for i in range(codec.words_per_slice)
+        )
+        ds = DataSlice(tx_id=1, words=words)
+        assert codec.decode_data(codec.encode_data(ds)).words == words
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            SliceCodec(home_addr_bits=7)
+        with pytest.raises(ValueError):
+            SliceCodec(home_addr_bits=40, words_per_slice=0)

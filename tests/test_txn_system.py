@@ -1,0 +1,148 @@
+"""The transactional API and MemorySystem facade."""
+
+import pytest
+
+from repro import MemorySystem, SystemConfig
+from repro.common.errors import TransactionError
+
+
+@pytest.fixture
+def system():
+    return MemorySystem(SystemConfig.small(), scheme="hoop")
+
+
+class TestTransactionAPI:
+    def test_store_load_round_trip(self, system):
+        addr = system.allocate(64)
+        with system.transaction() as tx:
+            tx.store(addr, b"abcdefgh")
+            assert tx.load(addr, 8) == b"abcdefgh"
+        assert system.load(addr, 8) == b"abcdefgh"
+
+    def test_u64_helpers(self, system):
+        addr = system.allocate(8)
+        with system.transaction() as tx:
+            tx.store_u64(addr, 123456789)
+            assert tx.load_u64(addr) == 123456789
+
+    def test_multi_line_store(self, system):
+        addr = system.allocate(256)
+        payload = bytes(range(200)) + b"\x00" * 56
+        with system.transaction() as tx:
+            tx.store(addr, payload)
+        assert system.load(addr, 256) == payload
+
+    def test_latency_measured(self, system):
+        addr = system.allocate(8)
+        with system.transaction() as tx:
+            tx.store_u64(addr, 1)
+        assert tx.latency_ns > 0
+        assert system.latency_count == 1
+        assert system.mean_latency_ns == pytest.approx(tx.latency_ns)
+
+    def test_clock_advances_per_core(self, system):
+        addr = system.allocate(8)
+        with system.transaction(core=1) as tx:
+            tx.store_u64(addr, 1)
+        assert system.elapsed_ns(1) > 0
+        assert system.elapsed_ns(0) == 0
+
+    def test_use_outside_context_rejected(self, system):
+        tx = system.transaction()
+        with pytest.raises(TransactionError):
+            tx.store(0, b"x")
+        with pytest.raises(TransactionError):
+            tx.load(0, 8)
+
+    def test_use_after_exit_rejected(self, system):
+        addr = system.allocate(8)
+        with system.transaction() as tx:
+            tx.store_u64(addr, 1)
+        with pytest.raises(TransactionError):
+            tx.store_u64(addr, 2)
+
+    def test_empty_store_rejected(self, system):
+        with system.transaction() as tx:
+            with pytest.raises(TransactionError):
+                tx.store(0, b"")
+
+    def test_exception_propagates(self, system):
+        with pytest.raises(RuntimeError):
+            with system.transaction() as tx:
+                raise RuntimeError("app bug")
+
+    def test_transaction_counter(self, system):
+        for _ in range(3):
+            with system.transaction() as tx:
+                tx.store_u64(system.allocate(8), 1)
+        assert system.committed_transactions == 3
+
+
+class TestSystemFacade:
+    def test_allocate_and_free(self, system):
+        addr = system.allocate(64)
+        system.free(addr, 64)
+        assert system.allocate(64) == addr  # size-class reuse
+
+    def test_sync_clocks(self, system):
+        with system.transaction(core=2) as tx:
+            tx.store_u64(system.allocate(8), 1)
+        horizon = system.sync_clocks()
+        assert all(c == horizon for c in system.clocks)
+
+    def test_reset_measurement(self, system):
+        with system.transaction() as tx:
+            tx.store_u64(system.allocate(8), 1)
+        system.reset_measurement()
+        assert system.latency_count == 0
+        assert system.device.stats.bytes_written == 0
+
+    def test_now_ns(self, system):
+        assert system.now_ns == 0.0
+        with system.transaction(core=3) as tx:
+            tx.store_u64(system.allocate(8), 1)
+        assert system.now_ns == system.elapsed_ns(3)
+
+    def test_scheme_by_instance(self):
+        from repro.schemes.native import NativeScheme
+
+        config = SystemConfig.small()
+        from repro.nvm.device import NVMDevice
+
+        device = NVMDevice(config.nvm)
+        scheme = NativeScheme(config, device)
+        system = MemorySystem(config, scheme=scheme)
+        assert system.scheme is scheme
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(KeyError):
+            MemorySystem(SystemConfig.small(), scheme="nope")
+
+    def test_durable_state_bypasses_caches(self, system):
+        addr = system.allocate(8)
+        with system.transaction() as tx:
+            tx.store_u64(addr, 42)
+        # Still cached: durable home copy lags until GC migrates it.
+        assert system.durable_state(addr, 8) == bytes(8)
+        system.scheme.quiesce(system.now_ns)
+        assert int.from_bytes(system.durable_state(addr, 8), "little") == 42
+
+
+class TestCrashRecoveryFacade:
+    def test_crash_then_recover(self, system):
+        addr = system.allocate(8)
+        with system.transaction() as tx:
+            tx.store_u64(addr, 7)
+        system.crash()
+        report = system.recover(threads=2)
+        assert report.committed_transactions == 1
+        assert int.from_bytes(system.durable_state(addr, 8), "little") == 7
+
+    def test_reads_work_after_recovery(self, system):
+        addr = system.allocate(8)
+        with system.transaction() as tx:
+            tx.store_u64(addr, 9)
+        system.crash()
+        system.recover()
+        with system.transaction() as tx:
+            assert tx.load_u64(addr) == 9
