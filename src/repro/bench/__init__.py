@@ -1,0 +1,97 @@
+"""Wall-clock benchmarking of the experiment harness itself.
+
+``python -m repro.bench`` times every cell of the figure matrix and
+writes ``BENCH_harness.json`` so the harness's own performance is
+tracked from PR to PR (the simulator's speed bounds every future PR's
+iteration loop).  See :func:`bench_matrix` for the report layout and
+:func:`check_against_baseline` for the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harness import diskcache, parallel
+
+SCHEMA_VERSION = 1
+
+
+def bench_matrix(
+    scale: str = "smoke",
+    jobs: int = 1,
+    *,
+    seed: int = 7,
+    use_cache: bool = True,
+) -> dict:
+    """Time the full matrix; returns the BENCH_harness.json payload."""
+    diskcache.stats.reset()
+    specs = parallel.matrix_specs(scale, seed=seed)
+    report = parallel.run_matrix(specs, jobs=jobs, use_cache=use_cache)
+    cells = {}
+    for timing in sorted(report.timings, key=lambda t: t.name):
+        result = report.results[timing.name]
+        cells[timing.name] = {
+            "seconds": round(timing.seconds, 4),
+            "source": timing.source,
+            "throughput_tx_per_ms": result.throughput_tx_per_ms,
+            "transactions": result.transactions,
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "scale": scale,
+        "jobs": report.jobs,
+        "python": platform.python_version(),
+        "code_fingerprint": diskcache.code_fingerprint(),
+        "total_matrix_s": round(report.total_s, 4),
+        "cells_computed": report.computed,
+        "cells_from_cache": report.cache_hits,
+        "disk_cache": {
+            "hits": diskcache.stats.hits,
+            "misses": diskcache.stats.misses,
+            "stores": diskcache.stats.stores,
+        },
+        "cells": cells,
+    }
+
+
+def write_report(payload: dict, out_path: pathlib.Path) -> None:
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def check_against_baseline(
+    payload: dict,
+    baseline_path: pathlib.Path,
+    *,
+    factor: float = 2.0,
+    min_seconds: float = 0.05,
+) -> List[str]:
+    """Compare per-cell times against a committed baseline.
+
+    Returns a list of human-readable regression messages (empty = pass).
+    Only *computed* cells are compared — a cache hit is never a
+    regression — and cells faster than ``min_seconds`` in the baseline
+    are skipped (pure noise at that granularity).
+    """
+    baseline = json.loads(baseline_path.read_text())
+    problems = []
+    for name, base_cell in baseline.get("cells", {}).items():
+        base_s = base_cell.get("seconds", 0.0)
+        if base_s < min_seconds:
+            continue
+        current = payload["cells"].get(name)
+        if current is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        if current["source"] != "computed":
+            continue
+        if current["seconds"] > base_s * factor:
+            problems.append(
+                f"{name}: {current['seconds']:.2f}s vs baseline"
+                f" {base_s:.2f}s (>{factor:.0f}x)"
+            )
+    return problems

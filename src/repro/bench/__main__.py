@@ -1,0 +1,85 @@
+"""CLI: time the experiment matrix and write BENCH_harness.json.
+
+Usage::
+
+    python -m repro.bench [--scale smoke] [--jobs N] [--no-cache]
+                          [--out BENCH_harness.json]
+                          [--baseline benchmarks/bench_baseline.json]
+
+With ``--baseline`` the run exits non-zero when any computed cell takes
+more than 2x its committed baseline time — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+from repro import bench
+from repro.harness import experiments
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the experiment harness.",
+    )
+    parser.add_argument(
+        "--scale", default="smoke", choices=sorted(experiments.SCALES)
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=int(os.environ.get("REPRO_JOBS", "1")),
+        help="worker processes for the matrix fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument("--out", default="BENCH_harness.json")
+    parser.add_argument(
+        "--baseline",
+        help="committed baseline JSON; fail on >2x per-cell regressions",
+    )
+    parser.add_argument(
+        "--regression-factor", type=float, default=2.0,
+        help="slowdown factor treated as a regression (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+
+    payload = bench.bench_matrix(
+        args.scale, args.jobs, use_cache=not args.no_cache
+    )
+    out_path = pathlib.Path(args.out)
+    bench.write_report(payload, out_path)
+    print(
+        f"[bench] {args.scale} matrix: {payload['total_matrix_s']:.2f}s"
+        f" total, {payload['cells_computed']} computed,"
+        f" {payload['cells_from_cache']} cached -> {out_path}"
+    )
+
+    if args.baseline:
+        try:
+            problems = bench.check_against_baseline(
+                payload,
+                pathlib.Path(args.baseline),
+                factor=args.regression_factor,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"[bench] cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if problems:
+            for problem in problems:
+                print(f"[bench] REGRESSION {problem}", file=sys.stderr)
+            return 1
+        print("[bench] no per-cell regressions vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,13 @@ class BitStruct:
             self._offsets[field.name] = (cursor, field.bits)
             cursor += field.bits
         self.used_bits = cursor
+        # Flattened (name, offset, mask) rows so pack/unpack — called per
+        # slice encode/decode — skip the per-field dict probes and mask
+        # reconstruction.
+        self._rows: Tuple[Tuple[str, int, int], ...] = tuple(
+            (f.name, self._offsets[f.name][0], (1 << f.bits) - 1)
+            for f in self.fields
+        )
 
     def max_value(self, name: str) -> int:
         """Largest value representable by field ``name``."""
@@ -59,16 +66,34 @@ class BitStruct:
     def pack(self, values: Dict[str, int]) -> bytes:
         """Pack ``values`` into ``total_bytes`` bytes; unset fields are 0."""
         acc = 0
-        for field in self.fields:
-            value = values.get(field.name, 0)
-            limit = (1 << field.bits) - 1
-            if not 0 <= value <= limit:
+        get = values.get
+        for name, offset, mask in self._rows:
+            value = get(name, 0)
+            if value and not 0 <= value <= mask:
                 raise ValueError(
-                    f"value {value} does not fit field {field.name!r} "
-                    f"({field.bits} bits)"
+                    f"value {value} does not fit field {name!r}"
                 )
-            offset, _ = self._offsets[field.name]
             acc |= value << offset
+        return acc.to_bytes(self.total_bytes, "little")
+
+    def with_field(self, raw: bytes, name: str, value: int) -> bytes:
+        """OR ``value`` into a currently-zero field of packed bytes.
+
+        Lets codecs pack once with a placeholder (e.g. ``checksum=0``),
+        compute the derived value, and splice it in without re-packing
+        the whole record.
+        """
+        offset, bits = self._offsets[name]
+        if not 0 <= value <= (1 << bits) - 1:
+            raise ValueError(f"value {value} does not fit field {name!r}")
+        acc = int.from_bytes(raw, "little") | (value << offset)
+        return acc.to_bytes(self.total_bytes, "little")
+
+    def clear_field(self, raw: bytes, name: str) -> bytes:
+        """Return ``raw`` with field ``name`` zeroed (checksum checks)."""
+        offset, bits = self._offsets[name]
+        mask = ((1 << bits) - 1) << offset
+        acc = int.from_bytes(raw, "little") & ~mask
         return acc.to_bytes(self.total_bytes, "little")
 
     def unpack(self, raw: bytes) -> Dict[str, int]:
@@ -78,11 +103,10 @@ class BitStruct:
                 f"expected {self.total_bytes} bytes, got {len(raw)}"
             )
         acc = int.from_bytes(raw, "little")
-        out: Dict[str, int] = {}
-        for field in self.fields:
-            offset, bits = self._offsets[field.name]
-            out[field.name] = (acc >> offset) & ((1 << bits) - 1)
-        return out
+        return {
+            name: (acc >> offset) & mask
+            for name, offset, mask in self._rows
+        }
 
 
 def pack_uint_list(values: Sequence[int], bits_each: int, total_bytes: int) -> bytes:

@@ -34,7 +34,6 @@ from repro.common.addr import (
     CACHE_LINE_BYTES,
     WORD_BYTES,
     cache_line_base,
-    iter_words,
 )
 from repro.common.config import SystemConfig
 from repro.core.block_refs import BlockRefs
@@ -155,11 +154,17 @@ class HoopController:
             report = self.gc.run(now_ns, on_demand=True)
             self.stats.on_demand_gc += 1
             now_ns = max(now_ns, report.completion_ns)
-        for word_addr in iter_words(addr, size):
+        # Precomputed word iteration: a step-8 range over validated
+        # addresses (the hierarchy already bounds-checked the access)
+        # instead of the generator + re-validation in iter_words.
+        add_word = self.buffer.add_word
+        seq = self._store_seq
+        for word_addr in range(addr & ~(WORD_BYTES - 1), addr + size, WORD_BYTES):
             offset = word_addr - line_addr
             value = line_data[offset : offset + WORD_BYTES]
-            self._store_seq += 1
-            self.buffer.add_word(core, word_addr, value, self._store_seq, now_ns)
+            seq += 1
+            add_word(core, word_addr, value, seq, now_ns)
+        self._store_seq = seq
         return now_ns
 
     def tx_end(self, core: int, tx_id: int, now_ns: float) -> float:

@@ -128,6 +128,16 @@ class GarbageCollector:
         self.trigger = PeriodicTrigger(config.hoop.gc.period_ns)
         self.stats = GCStats()
         self._watermark = 0
+        # Pressure thresholds in absolute units so the per-store pressure
+        # probe is two integer-ish comparisons, not two divisions over
+        # freshly-recomputed occupancy fractions.
+        gc_cfg = config.hoop.gc
+        self._mapping_pressure_entries = (
+            gc_cfg.on_demand_mapping_fill * mapping.capacity_entries
+        )
+        self._region_pressure_blocks = (
+            gc_cfg.on_demand_region_fill * region.num_blocks
+        )
 
     # -- triggering ------------------------------------------------------------
 
@@ -139,11 +149,15 @@ class GarbageCollector:
         return self.run(now_ns, on_demand=False)
 
     def pressure(self) -> bool:
-        """True when SRAM/region occupancy demands an on-demand pass."""
-        gc_cfg = self.config.hoop.gc
+        """True when SRAM/region occupancy demands an on-demand pass.
+
+        Equivalent to comparing ``fill_fraction`` against the configured
+        thresholds, but phrased as ``occupancy >= threshold * capacity``
+        so the store critical path pays O(1) comparisons only.
+        """
         return (
-            self.mapping.fill_fraction >= gc_cfg.on_demand_mapping_fill
-            or self.region.fill_fraction >= gc_cfg.on_demand_region_fill
+            self.mapping.entries >= self._mapping_pressure_entries
+            or self.region.busy_blocks >= self._region_pressure_blocks
         )
 
     def set_period(self, period_ns: float, now_ns: float) -> None:
@@ -213,11 +227,12 @@ class GarbageCollector:
         for line_addr, word_addrs in lines.items():
             home_line, latest = self.port.read(line_addr, 64, now_ns)
             staged = bytearray(home_line)
+            word_writes = []
             for addr in sorted(word_addrs):
                 value, src_slice, src_slot = coalesced[addr]
                 offset = addr - line_addr
                 staged[offset : offset + 8] = value
-                self.port.async_write(addr, value, now_ns)
+                word_writes.append((addr, value))
                 entry = self.mapping.lookup_word(addr)
                 if (
                     entry is not None
@@ -226,6 +241,9 @@ class GarbageCollector:
                     and entry.word_slot == src_slot
                 ):
                     self.mapping.remove_if_stale(addr, entry.seq)
+            # The line's word writes all queue at the same instant; batch
+            # their channel math (the retire step drains the queue later).
+            self.port.async_write_words(word_writes, now_ns)
             self.eviction_buffer.insert(line_addr, bytes(staged))
         report.words_migrated = len(coalesced) + uncoalesced_writes
 

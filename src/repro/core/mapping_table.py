@@ -24,14 +24,21 @@ an upper bound.  See DESIGN.md §"Mapping-table lifetime".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
-from repro.common.addr import cache_line_base
+from repro.common.addr import CACHE_LINE_BYTES, cache_line_base
+
+_LINE_MASK = ~(CACHE_LINE_BYTES - 1)
 
 
-@dataclass(frozen=True)
-class OOPLocation:
-    """Where a word's newest durable (or buffered) value lives."""
+class OOPLocation(NamedTuple):
+    """Where a word's newest durable (or buffered) value lives.
+
+    A NamedTuple rather than a frozen dataclass: one is allocated per
+    transactional store (and again per slice flush), and tuple
+    construction is several times cheaper than ``object.__setattr__``
+    per field.
+    """
 
     in_buffer: bool  # True: core's OOP data buffer; False: OOP region slice
     slice_index: int  # region slice index (or buffer core id when in_buffer)
@@ -99,21 +106,25 @@ class MappingTable:
 
     def record(self, word_addr: int, location: OOPLocation) -> None:
         """Insert or update the newest location of a home word."""
-        line = cache_line_base(word_addr)
+        line = word_addr & _LINE_MASK
         words = self._lines.get(line)
         if words is None:
             words = {}
             self._lines[line] = words
+        stats = self.stats
         if word_addr in words:
-            self.stats.updates += 1
+            stats.updates += 1
         else:
-            self._entries += 1
-            self.stats.inserts += 1
-            if self._entries > self.capacity_entries:
-                self.stats.overflow_events += 1
-            self.stats.peak_entries = max(self.stats.peak_entries, self._entries)
+            entries = self._entries + 1
+            self._entries = entries
+            stats.inserts += 1
+            if entries > self.capacity_entries:
+                stats.overflow_events += 1
+            if entries > stats.peak_entries:
+                stats.peak_entries = entries
         words[word_addr] = location
-        self._recheck_condensed(line)
+        if self.condense:
+            self._recheck_condensed(line)
 
     def relocate_buffered(
         self, word_addr: int, seq: int, new_location: OOPLocation
@@ -123,23 +134,28 @@ class MappingTable:
         Only updates the entry when it still refers to the same store
         (matched by ``seq``); a newer store supersedes the flush.
         """
-        line = cache_line_base(word_addr)
+        line = word_addr & _LINE_MASK
         words = self._lines.get(line)
         if words is None:
             return
         current = words.get(word_addr)
         if current is not None and current.seq == seq and current.in_buffer:
             words[word_addr] = new_location
-            self._recheck_condensed(line)
+            if self.condense:
+                self._recheck_condensed(line)
 
     # -- load-side lookups --------------------------------------------------------
 
     def lookup_line(self, line_addr: int) -> Optional[Dict[int, OOPLocation]]:
-        """All mapped words of a cache line (the LLC-miss probe)."""
-        words = self._lines.get(cache_line_base(line_addr))
+        """All mapped words of a cache line (the LLC-miss probe).
+
+        Returns a live read-only view of the table's own dict — callers
+        must not mutate it or hold it across table updates.
+        """
+        words = self._lines.get(line_addr & _LINE_MASK)
         if words:
             self.stats.line_hits += 1
-            return dict(words)
+            return words
         self.stats.line_misses += 1
         return None
 

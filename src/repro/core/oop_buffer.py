@@ -22,6 +22,7 @@ asserted rather than assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import SystemConfig
@@ -37,18 +38,17 @@ from repro.core.slices import (
 )
 
 
-@dataclass
-class _PendingWord:
-    value: bytes
-    seq: int
+# A pending word is a plain ``(value, seq)`` tuple: these are created on
+# every transactional store, so they must cost one tuple allocation and
+# nothing more.
 
 
-@dataclass
+@dataclass(slots=True)
 class _CoreEntry:
     """Volatile per-core buffer state for the transaction in flight."""
 
     tx_id: Optional[int] = None
-    pending: Dict[int, _PendingWord] = field(default_factory=dict)
+    pending: Dict[int, Tuple[bytes, int]] = field(default_factory=dict)
     last_slice: Optional[int] = None  # tail of the current chain segment
     segment_open: bool = False  # a slice has been written in this segment
     segments: List[int] = field(default_factory=list)  # closed segment tails
@@ -83,6 +83,7 @@ class OOPDataBuffer:
         self._cores = [_CoreEntry() for _ in range(config.num_cores)]
         # 16 bytes of SRAM per pending word: 8 B data + 8 B home address.
         self.capacity_words = config.hoop.oop_buffer_bytes_per_core // 16
+        self._words_per_slice = codec.words_per_slice
         self.stats = BufferStats()
         self._total_slices = region.num_blocks * region.slots_per_block
 
@@ -103,15 +104,16 @@ class OOPDataBuffer:
         entry = self._cores[core]
         if entry.tx_id is None:
             raise TransactionError(f"core {core} has no open transaction")
-        if word_addr in entry.pending:
+        pending = entry.pending
+        if word_addr in pending:
             self.stats.words_deduped += 1
         else:
-            if len(entry.pending) >= self.capacity_words:
+            if len(pending) >= self.capacity_words:
                 raise CapacityError(
                     f"OOP data buffer overflow on core {core}"
                 )
             self.stats.words_buffered += 1
-        entry.pending[word_addr] = _PendingWord(value, seq)
+        pending[word_addr] = (value, seq)
         self.mapping.record(
             word_addr,
             OOPLocation(
@@ -125,7 +127,7 @@ class OOPDataBuffer:
         # Hold the buffer until it *overflows* a slice: the commit point is
         # the synchronous persist of a STATE_LAST slice at Tx_end, so every
         # transaction must end with at least one word still pending.
-        if len(entry.pending) > self.codec.words_per_slice:
+        if len(pending) > self._words_per_slice:
             self._flush_slice(core, now_ns, sync=False, last=False)
 
     def tx_end(self, core: int, now_ns: float) -> Tuple[List[int], float]:
@@ -140,7 +142,7 @@ class OOPDataBuffer:
             raise TransactionError(f"core {core} has no open transaction")
         completion = now_ns
         while entry.pending:
-            last = len(entry.pending) <= self.codec.words_per_slice
+            last = len(entry.pending) <= self._words_per_slice
             completion = self._flush_slice(core, now_ns, sync=True, last=last)
         segments = list(entry.segments)
         if entry.last_slice is not None:
@@ -153,7 +155,7 @@ class OOPDataBuffer:
     def buffered_word(self, core: int, word_addr: int) -> Optional[bytes]:
         """Value of a word still sitting in a core's buffer, if any."""
         pending = self._cores[core].pending.get(word_addr)
-        return pending.value if pending is not None else None
+        return pending[0] if pending is not None else None
 
     def open_tx(self, core: int) -> Optional[int]:
         return self._cores[core].tx_id
@@ -168,7 +170,9 @@ class OOPDataBuffer:
     ) -> float:
         entry = self._cores[core]
         assert entry.tx_id is not None and entry.pending
-        words = list(entry.pending.items())[: self.codec.words_per_slice]
+        # islice avoids copying the whole pending dict when it holds more
+        # than one slice's worth of words.
+        words = list(islice(entry.pending.items(), self._words_per_slice))
         slice_index = self.region.allocate_slice(now_ns, stream="data")
         prev_delta: Optional[int] = None
         if entry.segment_open:
@@ -185,7 +189,7 @@ class OOPDataBuffer:
         ds = DataSlice(
             tx_id=entry.tx_id,
             words=tuple(
-                (addr, pending.value) for addr, pending in words
+                (addr, value) for addr, (value, _seq) in words
             ),
             is_start=prev_delta is None,
             prev_delta=prev_delta,
@@ -196,15 +200,15 @@ class OOPDataBuffer:
         completion = self.region.write_slice(slice_index, raw, now_ns, sync=sync)
         if self._on_slice_written is not None:
             self._on_slice_written(entry.tx_id, slice_index)
-        for slot, (addr, pending) in enumerate(words):
+        for slot, (addr, (_value, seq)) in enumerate(words):
             self.mapping.relocate_buffered(
                 addr,
-                pending.seq,
+                seq,
                 OOPLocation(
                     in_buffer=False,
                     slice_index=slice_index,
                     word_slot=slot,
-                    seq=pending.seq,
+                    seq=seq,
                     tx_id=entry.tx_id,
                 ),
             )

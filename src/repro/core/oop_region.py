@@ -19,6 +19,7 @@ DESIGN.md.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass
 from enum import IntEnum
@@ -100,6 +101,21 @@ class RegionStats:
     blocks_reclaimed: int = 0
 
 
+# Invariant-check mode: every O(1) occupancy read recomputes the answer
+# from scratch and asserts equality.  Off by default (it restores the
+# O(#blocks) scan this module exists to avoid); enabled by the property
+# tests and by REPRO_CHECK_INVARIANTS=1.
+_CHECK_INVARIANTS = os.environ.get("REPRO_CHECK_INVARIANTS", "0") not in ("", "0")
+
+
+def set_invariant_checks(enabled: bool) -> bool:
+    """Toggle paranoid occupancy rechecks; returns the previous setting."""
+    global _CHECK_INVARIANTS
+    previous = _CHECK_INVARIANTS
+    _CHECK_INVARIANTS = enabled
+    return previous
+
+
 class OOPRegion:
     """Allocator and accessor for the out-of-place update region."""
 
@@ -133,6 +149,11 @@ class OOPRegion:
         self._block_stream: dict = {}
         self._generation: dict = {}  # block -> reuse count
         self._touched: Set[int] = set()
+        # Incremental occupancy: number of blocks whose state != UNUSED.
+        # Maintained by every state transition so ``fill_fraction`` (read
+        # on the store critical path via GC pressure checks) is O(1)
+        # instead of an O(#blocks) rescan.
+        self._busy_blocks = 0
         self.stats = RegionStats()
 
     # -- address arithmetic -------------------------------------------------
@@ -178,14 +199,32 @@ class OOPRegion:
     @property
     def fill_fraction(self) -> float:
         """Fraction of blocks not currently reusable (for GC triggering)."""
+        if _CHECK_INVARIANTS:
+            self.verify_accounting()
+        return self._busy_blocks / self.num_blocks
+
+    @property
+    def busy_blocks(self) -> int:
+        """Number of blocks whose state is not UNUSED (O(1))."""
+        return self._busy_blocks
+
+    def verify_accounting(self) -> None:
+        """Recompute occupancy from scratch and assert the counter agrees."""
         busy = sum(1 for s in self._state if s != BlockState.UNUSED)
-        return busy / self.num_blocks
+        if busy != self._busy_blocks:
+            raise AssertionError(
+                f"incremental busy-block counter {self._busy_blocks} != "
+                f"recounted {busy}"
+            )
 
     def generation_of(self, block: int) -> int:
         """Current reuse generation of a block (stamped into its slices)."""
         return self._generation.get(block, 0)
 
     def _write_header(self, block: int, state: BlockState, now_ns: float) -> None:
+        old = self._state[block]
+        if (old == BlockState.UNUSED) != (state == BlockState.UNUSED):
+            self._busy_blocks += 1 if old == BlockState.UNUSED else -1
         self._state[block] = state
         self._touched.add(block)
         stream = self._block_stream.get(block, "data")
@@ -317,6 +356,9 @@ class OOPRegion:
             self._generation[block] = generation
             if state != BlockState.UNUSED:
                 self._block_stream[block] = stream
+        self._busy_blocks = sum(
+            1 for s in self._state if s != BlockState.UNUSED
+        )
         self._free = deque(
             b for b, s in enumerate(self._state) if s == BlockState.UNUSED
         )
@@ -336,6 +378,7 @@ class OOPRegion:
             if self._state[block] != BlockState.UNUSED:
                 self._write_header(block, BlockState.UNUSED, now_ns)
         self._state = [BlockState.UNUSED] * self.num_blocks
+        self._busy_blocks = 0
         self._free = deque(range(self.num_blocks))
         self._active = {"data": None, "addr": None}
         self._cursor = {"data": 0, "addr": 0}

@@ -60,7 +60,7 @@ def _checksum(payload: bytes) -> int:
     return zlib.crc32(payload) & 0xFFFF
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataSlice:
     """Decoded data memory slice: the words of one packing unit.
 
@@ -224,11 +224,13 @@ class SliceCodec:
             "count": ds.count - 1,
             "state": ds.state,
             "generation": ds.generation & 0xFF,
-            "checksum": 0,
         }
         payload = bytes(data) + addr_vec
-        body["checksum"] = _checksum(payload + self._meta.pack(body))
-        raw = payload + self._meta.pack(body) + bytes([KIND_DATA])
+        meta = self._meta.pack(body)  # checksum field still zero
+        meta = self._meta.with_field(
+            meta, "checksum", _checksum(payload + meta)
+        )
+        raw = payload + meta + bytes([KIND_DATA])
         assert len(raw) == SLICE_BYTES
         return raw
 
@@ -238,19 +240,19 @@ class SliceCodec:
             raise CorruptionError(f"slice must be {SLICE_BYTES} bytes")
         if raw[-1] & 0xF != KIND_DATA:
             raise CorruptionError("not a data memory slice")
-        data = raw[: self._data_bytes]
+        data = bytes(raw[: self._data_bytes])
         addr_vec = raw[self._data_bytes : self._data_bytes + self._addr_vec_bytes]
         meta_raw = raw[self._data_bytes + self._addr_vec_bytes : -1]
         meta = self._meta.unpack(meta_raw)
-        stored_checksum = meta["checksum"]
-        check_meta = dict(meta, checksum=0)
-        expected = _checksum(data + addr_vec + self._meta.pack(check_meta))
-        if stored_checksum != expected:
+        expected = _checksum(
+            data + addr_vec + self._meta.clear_field(meta_raw, "checksum")
+        )
+        if meta["checksum"] != expected:
             raise CorruptionError("data slice checksum mismatch (torn write)")
         count = meta["count"] + 1
         word_indexes = unpack_uint_list(addr_vec, self.home_addr_bits, count)
         words = tuple(
-            (word_indexes[i] * WORD_BYTES, bytes(data[i * 8 : (i + 1) * 8]))
+            (word_indexes[i] * WORD_BYTES, data[i * 8 : (i + 1) * 8])
             for i in range(count)
         )
         next_offset = meta["next_offset"]
@@ -284,13 +286,13 @@ class SliceCodec:
             )
             acc |= packed << (i * self._entry_bits)
         payload = acc.to_bytes(SLICE_BYTES - 1 - 7, "little")
-        header = {
-            "sequence": a.sequence,
-            "count": len(a.entries),
-            "checksum": 0,
-        }
-        header["checksum"] = _checksum(payload + self._addr_header.pack(header))
-        raw = self._addr_header.pack(header) + payload + bytes([KIND_ADDR])
+        header = self._addr_header.pack(
+            {"sequence": a.sequence, "count": len(a.entries)}
+        )
+        header = self._addr_header.with_field(
+            header, "checksum", _checksum(payload + header)
+        )
+        raw = header + payload + bytes([KIND_ADDR])
         assert len(raw) == SLICE_BYTES
         return raw
 
@@ -303,8 +305,8 @@ class SliceCodec:
         header_raw = raw[:7]
         payload = raw[7:-1]
         header = self._addr_header.unpack(header_raw)
-        check = dict(header, checksum=0)
-        if header["checksum"] != _checksum(payload + self._addr_header.pack(check)):
+        zeroed = self._addr_header.clear_field(header_raw, "checksum")
+        if header["checksum"] != _checksum(payload + zeroed):
             raise CorruptionError("address slice checksum mismatch")
         count = header["count"]
         if count > self.entries_per_addr_slice:

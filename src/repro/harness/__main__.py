@@ -3,20 +3,29 @@
 Usage::
 
     python -m repro.harness [--scale smoke|default|paper] [--only FIG ...]
-                            [--out DIR]
+                            [--out DIR] [--jobs N] [--no-cache] [--profile]
 
-Writes each figure's text rendering to ``<out>/<figure>.txt`` and prints
-them to stdout.  ``--only fig7a fig8`` restricts the set.
+Writes each figure's text rendering to ``<out>/<figure>.txt``, prints
+them to stdout, and records harness timing in ``<out>/BENCH_harness.json``.
+``--only fig7a fig8`` restricts the set.  ``--jobs N`` pre-computes the
+workload matrix in N worker processes, then runs the figure generators
+sequentially against the warmed cache — output is identical to a
+sequential run.  ``--profile`` prints a cProfile top-20 per figure.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import os
 import pathlib
+import pstats
 import sys
 import time
 
-from repro.harness import experiments
+from repro import bench
+from repro.harness import diskcache, experiments, parallel
 
 RUNNERS = {
     "table1": lambda scale: experiments.run_table1(),
@@ -58,19 +67,89 @@ def main(argv=None) -> int:
         default="results",
         help="directory for the rendered text tables",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", "1")),
+        help="worker processes to pre-compute the matrix (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile top-20 (cumulative) per figure",
+    )
     args = parser.parse_args(argv)
+
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
 
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     names = args.only or list(RUNNERS)
+    started = time.perf_counter()
+    diskcache.stats.reset()
+
+    matrix_report = None
+    if args.jobs > 1:
+        # Pre-warm the cell memo in parallel; the runners below then hit
+        # it cell for cell, producing byte-identical figures.
+        specs = parallel.matrix_specs(args.scale)
+        matrix_report = parallel.run_matrix(
+            specs, jobs=args.jobs, use_cache=not args.no_cache
+        )
+        print(
+            f"[matrix pre-warm took {matrix_report.total_s:.1f}s:"
+            f" {matrix_report.computed} computed,"
+            f" {matrix_report.cache_hits} cached, jobs={matrix_report.jobs}]\n"
+        )
+
+    figure_seconds = {}
     for name in names:
-        start = time.time()
+        start = time.perf_counter()
         runner = RUNNERS[name]
+        profiler = None
+        if args.profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
         figure = runner(args.scale) if name != "table1" else runner(None)
+        if profiler is not None:
+            profiler.disable()
         text = figure.render()
         print(text)
-        print(f"[{name} took {time.time() - start:.1f}s]\n")
+        elapsed = time.perf_counter() - start
+        figure_seconds[name] = round(elapsed, 4)
+        print(f"[{name} took {elapsed:.1f}s]\n")
+        if profiler is not None:
+            buf = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buf)
+            stats.sort_stats("cumulative").print_stats(20)
+            print(f"--- cProfile {name} (top 20 cumulative) ---")
+            print(buf.getvalue())
         (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    payload = {
+        "schema": bench.SCHEMA_VERSION,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "figures": figure_seconds,
+        "total_s": round(time.perf_counter() - started, 4),
+        "code_fingerprint": diskcache.code_fingerprint(),
+        "disk_cache": {
+            "hits": diskcache.stats.hits,
+            "misses": diskcache.stats.misses,
+            "stores": diskcache.stats.stores,
+        },
+    }
+    if matrix_report is not None:
+        payload["matrix_prewarm_s"] = round(matrix_report.total_s, 4)
+        payload["cells_computed"] = matrix_report.computed
+        payload["cells_from_cache"] = matrix_report.cache_hits
+    bench.write_report(payload, out_dir / "BENCH_harness.json")
     return 0
 
 

@@ -23,11 +23,13 @@ the four workload-matrix figures share one simulation per cell.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.common.config import GCConfig, HoopConfig, NVMConfig, SystemConfig
 from repro.common.units import KB, MB, MS, US
+from repro.harness import diskcache
 from repro.schemes import ALL_SCHEME_NAMES, scheme_class
 from repro.stats.report import FigureData
 from repro.txn.system import MemorySystem
@@ -137,7 +139,49 @@ def get_scale(scale: str) -> Scale:
 
 # -- one measured cell -------------------------------------------------------------
 
-_CELL_CACHE: Dict[tuple, RunResult] = {}
+# In-process memo, LRU-bounded.  The full smoke matrix is 56 cells; the
+# bound only matters for open-ended ablation sweeps that vary configs.
+_CELL_CACHE: "OrderedDict[tuple, RunResult]" = OrderedDict()
+_CELL_CACHE_MAX = 512
+
+
+def _freeze(value):
+    """Recursively convert ``value`` into a hashable, deterministic tuple."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return tuple(
+            (f.name, _freeze(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def cell_key(
+    scheme: str,
+    workload: str,
+    scale: str,
+    seed: int,
+    item_bytes: int,
+    config: Optional[SystemConfig],
+    extra_kwargs: Optional[Dict[str, int]],
+) -> tuple:
+    """Canonical cache key for one cell.
+
+    An explicit ``config`` contributes its *field values* (not identity),
+    so ablation sweeps that rebuild equal configs still share cells.
+    """
+    return (
+        scheme,
+        workload,
+        scale,
+        seed,
+        item_bytes,
+        _freeze(config) if config is not None else None,
+        tuple(sorted((extra_kwargs or {}).items())),
+    )
 
 
 def run_cell(
@@ -153,17 +197,18 @@ def run_cell(
 ) -> RunResult:
     """Run one (scheme, workload) cell and return its metrics."""
     preset = get_scale(scale)
-    key = (
-        scheme,
-        workload,
-        scale,
-        seed,
-        item_bytes,
-        config is None,
-        tuple(sorted((extra_kwargs or {}).items())),
+    key = cell_key(
+        scheme, workload, scale, seed, item_bytes, config, extra_kwargs
     )
-    if use_cache and config is None and key in _CELL_CACHE:
+    if use_cache and key in _CELL_CACHE:
+        _CELL_CACHE.move_to_end(key)
         return _CELL_CACHE[key]
+    if use_cache:
+        cached = diskcache.load(key)
+        if cached is not None:
+            result = RunResult(**cached)
+            seed_cache(key, result)
+            return result
     system_config = config or preset.system_config()
     system = MemorySystem(system_config, scheme=scheme)
     kwargs = preset.kwargs_for(workload)
@@ -190,9 +235,22 @@ def run_cell(
                 "llc_misses": system.hierarchy.stats.llc_misses,
             }
         )
-    if use_cache and config is None:
-        _CELL_CACHE[key] = result
+    if use_cache:
+        seed_cache(key, result)
+        diskcache.store(key, result)
     return result
+
+
+def seed_cache(key: tuple, result: RunResult) -> None:
+    """Install a finished cell in the in-process memo (LRU-bounded).
+
+    Used by :mod:`repro.harness.parallel` to pre-warm the memo with
+    results computed in worker processes, so the figure runners that
+    follow hit the cache exactly as in a sequential run.
+    """
+    _CELL_CACHE[key] = result
+    while len(_CELL_CACHE) > _CELL_CACHE_MAX:
+        _CELL_CACHE.popitem(last=False)
 
 
 def clear_cache() -> None:
@@ -570,6 +628,8 @@ def run_figure12(scale: str = "default", seed: int = 7) -> FigureData:
             config.nvm, read_latency_ns=read_ns, write_latency_ns=write_ns
         )
         config = config.replace(nvm=nvm)
+        # Caching is safe here: the config's field values are part of the
+        # cell key, so each latency point is its own cache entry.
         result = run_cell(
             "hoop",
             "ycsb",
@@ -577,7 +637,6 @@ def run_figure12(scale: str = "default", seed: int = 7) -> FigureData:
             seed=seed,
             item_bytes=1024,
             config=config,
-            use_cache=False,
         )
         return result.throughput_tx_per_ms
 

@@ -1,0 +1,198 @@
+"""Fan the experiment matrix out over worker processes.
+
+Cells are embarrassingly parallel: each builds its own
+:class:`~repro.txn.system.MemorySystem` from scratch and every source of
+randomness is seeded, so a cell computes the same
+:class:`~repro.workloads.driver.RunResult` no matter which process runs
+it.  :func:`run_matrix` exploits that with a ``ProcessPoolExecutor``
+(fork start method — the workers inherit the imported simulator), then
+seeds the in-process memo of :mod:`repro.harness.experiments` with the
+returned results.  Figure runners executed afterwards hit the memo cell
+for cell, so their output is identical to a sequential run's.
+
+Workers and the parent both consult the on-disk cache
+(:mod:`repro.harness.diskcache`), so a warm ``.bench_cache/`` makes the
+fan-out skip simulation entirely regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import diskcache, experiments
+from repro.workloads.driver import RunResult
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (scheme, workload) cell of the experiment matrix."""
+
+    scheme: str
+    workload: str
+    scale: str = "default"
+    seed: int = 7
+    item_bytes: int = 64
+    extra_kwargs: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def name(self) -> str:
+        return f"{self.scheme}/{self.workload}"
+
+    def key(self) -> tuple:
+        return experiments.cell_key(
+            self.scheme,
+            self.workload,
+            self.scale,
+            self.seed,
+            self.item_bytes,
+            None,
+            dict(self.extra_kwargs),
+        )
+
+
+@dataclass
+class CellTiming:
+    """How one cell was satisfied."""
+
+    name: str
+    seconds: float
+    source: str  # "computed", "memo", or "disk"
+
+
+@dataclass
+class MatrixReport:
+    """Outcome of one :func:`run_matrix` call."""
+
+    scale: str
+    jobs: int
+    total_s: float = 0.0
+    results: Dict[str, RunResult] = field(default_factory=dict)
+    timings: List[CellTiming] = field(default_factory=list)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for t in self.timings if t.source == "computed")
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.timings if t.source != "computed")
+
+
+def matrix_specs(scale: str, seed: int = 7) -> List[CellSpec]:
+    """The full figure matrix: (native + persistence schemes) x workloads."""
+    return [
+        CellSpec(scheme, workload, scale, seed)
+        for workload in experiments.MATRIX_WORKLOADS
+        for scheme in ("native",) + experiments.PERSISTENCE_SCHEMES
+    ]
+
+
+def _run_spec(spec: CellSpec) -> dict:
+    """Worker entry point: simulate one cell, return it as a plain dict."""
+    result = experiments.run_cell(
+        spec.scheme,
+        spec.workload,
+        spec.scale,
+        seed=spec.seed,
+        item_bytes=spec.item_bytes,
+        extra_kwargs=dict(spec.extra_kwargs) or None,
+    )
+    return dataclasses.asdict(result)
+
+
+def run_matrix(
+    specs: Sequence[CellSpec],
+    jobs: Optional[int] = None,
+    *,
+    use_cache: bool = True,
+) -> MatrixReport:
+    """Run ``specs``, fanning cache misses out over ``jobs`` processes.
+
+    Results land in the in-process memo (via
+    :func:`experiments.seed_cache`) and the returned report, keyed by
+    ``scheme/workload``.  ``jobs=None`` uses ``os.cpu_count()``;
+    ``jobs<=1`` degrades to a plain sequential loop in this process.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    scale = specs[0].scale if specs else "default"
+    report = MatrixReport(scale=scale, jobs=jobs)
+    started = time.perf_counter()
+
+    pending: List[CellSpec] = []
+    for spec in specs:
+        key = spec.key()
+        probe_start = time.perf_counter()
+        if use_cache and key in experiments._CELL_CACHE:
+            report.results[spec.name] = experiments._CELL_CACHE[key]
+            report.timings.append(
+                CellTiming(spec.name, time.perf_counter() - probe_start, "memo")
+            )
+            continue
+        if use_cache:
+            cached = diskcache.load(key)
+            if cached is not None:
+                result = RunResult(**cached)
+                experiments.seed_cache(key, result)
+                report.results[spec.name] = result
+                report.timings.append(
+                    CellTiming(
+                        spec.name, time.perf_counter() - probe_start, "disk"
+                    )
+                )
+                continue
+        pending.append(spec)
+
+    if pending and jobs > 1:
+        context = multiprocessing.get_context("fork")
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), mp_context=context
+        ) as pool:
+            futures = {}
+            for spec in pending:
+                futures[pool.submit(_run_spec, spec)] = (
+                    spec,
+                    time.perf_counter(),
+                )
+            for future in concurrent.futures.as_completed(futures):
+                spec, submit_time = futures[future]
+                result = RunResult(**future.result())
+                key = spec.key()
+                experiments.seed_cache(key, result)
+                if use_cache:
+                    diskcache.store(key, result)
+                report.results[spec.name] = result
+                report.timings.append(
+                    CellTiming(
+                        spec.name,
+                        time.perf_counter() - submit_time,
+                        "computed",
+                    )
+                )
+    else:
+        for spec in pending:
+            cell_start = time.perf_counter()
+            result = experiments.run_cell(
+                spec.scheme,
+                spec.workload,
+                spec.scale,
+                seed=spec.seed,
+                item_bytes=spec.item_bytes,
+                extra_kwargs=dict(spec.extra_kwargs) or None,
+                use_cache=use_cache,
+            )
+            report.results[spec.name] = result
+            report.timings.append(
+                CellTiming(
+                    spec.name, time.perf_counter() - cell_start, "computed"
+                )
+            )
+
+    report.total_s = time.perf_counter() - started
+    return report

@@ -27,7 +27,7 @@ All byte counters for Fig. 8 (write traffic) come from the underlying
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.nvm.device import NVMDevice
 
@@ -73,6 +73,22 @@ class MemoryPort:
         self.stats.async_writes += 1
         self.stats.async_bytes += len(data)
         return result.completion_ns
+
+    def async_write_words(
+        self, writes: Sequence[Tuple[int, bytes]], now_ns: float
+    ) -> None:
+        """Queue a burst of already-coalesced writes at one instant.
+
+        Timing math is batched in the device/channel; accounting is
+        identical to one :meth:`async_write` per element.  For callers
+        (GC migration) that fence later via :meth:`drain` rather than
+        tracking per-write completions.
+        """
+        if not writes:
+            return
+        self.device.write_batch(writes, now_ns)
+        self.stats.async_writes += len(writes)
+        self.stats.async_bytes += sum(len(data) for _, data in writes)
 
     def read(self, addr: int, size: int, now_ns: float) -> Tuple[bytes, float]:
         """Timed read; returns ``(data, completion_ns)``."""

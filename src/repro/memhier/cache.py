@@ -15,7 +15,7 @@ from typing import Dict, Iterator, Optional
 from repro.common.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class LineFlags:
     """Per-line metadata bits."""
 
@@ -24,7 +24,7 @@ class LineFlags:
     tx_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvictedLine:
     """A line pushed out of a level by an insertion."""
 
@@ -34,53 +34,105 @@ class EvictedLine:
     tx_id: int
 
 
+# Shared placeholder for tag-only residency tracking (L1/L2): those
+# levels never read their flag bits, so one immutable-by-convention
+# instance serves every line instead of an allocation per insert.
+_TAG = LineFlags()
+
+
 class CacheLevel:
     """Tag store for one cache level."""
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: Dict[int, "OrderedDict[int, LineFlags]"] = {}
+        # num_sets/ways are derived properties (divisions); snapshot them
+        # once — set-index math runs on every cache probe.
+        self._line_size = config.line_size
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        # Every set bucket is preallocated so probes index straight into
+        # the dict — no .get()/None branch on the hottest lookups.
+        self._sets: Dict[int, "OrderedDict[int, LineFlags]"] = {
+            index: OrderedDict() for index in range(self._num_sets)
+        }
+        # Power-of-two geometry (every preset) turns the set-index
+        # division/modulo into a shift-and-mask.
+        if (
+            self._line_size & (self._line_size - 1) == 0
+            and self._num_sets & (self._num_sets - 1) == 0
+        ):
+            self._shift = self._line_size.bit_length() - 1
+            self._set_mask = self._num_sets - 1
+        else:
+            self._shift = -1
+            self._set_mask = -1
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self.config.line_size) % self.config.num_sets
+        if self._set_mask >= 0:
+            return (line_addr >> self._shift) & self._set_mask
+        return (line_addr // self._line_size) % self._num_sets
 
     def _set_for(self, line_addr: int) -> "OrderedDict[int, LineFlags]":
-        index = self._set_index(line_addr)
-        bucket = self._sets.get(index)
-        if bucket is None:
-            bucket = OrderedDict()
-            self._sets[index] = bucket
-        return bucket
+        return self._sets[self._set_index(line_addr)]
 
     def lookup(self, line_addr: int, *, touch: bool = True) -> Optional[LineFlags]:
         """Probe for a line; refresh LRU recency when ``touch``."""
-        bucket = self._sets.get(self._set_index(line_addr))
-        if bucket is None or line_addr not in bucket:
+        mask = self._set_mask
+        if mask >= 0:
+            index = (line_addr >> self._shift) & mask
+        else:
+            index = (line_addr // self._line_size) % self._num_sets
+        bucket = self._sets[index]
+        flags = bucket.get(line_addr)
+        if flags is None:
             self.misses += 1
             return None
         self.hits += 1
         if touch:
             bucket.move_to_end(line_addr)
-        return bucket[line_addr]
+        return flags
+
+    def probe(self, line_addr: int) -> bool:
+        """Hot-path hit test: like ``lookup`` but returns a plain bool.
+
+        Same stats and LRU-recency side effects; skips returning the flag
+        object (which tag-only levels never read anyway).
+        """
+        mask = self._set_mask
+        if mask >= 0:
+            index = (line_addr >> self._shift) & mask
+        else:
+            index = (line_addr // self._line_size) % self._num_sets
+        bucket = self._sets[index]
+        if line_addr in bucket:
+            self.hits += 1
+            bucket.move_to_end(line_addr)
+            return True
+        self.misses += 1
+        return False
 
     def contains(self, line_addr: int) -> bool:
         """Presence probe with no stats or recency side effects."""
-        bucket = self._sets.get(self._set_index(line_addr))
-        return bucket is not None and line_addr in bucket
+        return line_addr in self._sets[self._set_index(line_addr)]
 
     def insert(self, line_addr: int, flags: Optional[LineFlags] = None) -> Optional[EvictedLine]:
         """Insert (or refresh) a line; returns the LRU victim if one fell out."""
-        bucket = self._set_for(line_addr)
+        mask = self._set_mask
+        if mask >= 0:
+            index = (line_addr >> self._shift) & mask
+        else:
+            index = (line_addr // self._line_size) % self._num_sets
+        bucket = self._sets[index]
         if line_addr in bucket:
             bucket.move_to_end(line_addr)
             if flags is not None:
                 bucket[line_addr] = flags
             return None
         victim: Optional[EvictedLine] = None
-        if len(bucket) >= self.config.ways:
+        if len(bucket) >= self._ways:
             victim_addr, victim_flags = bucket.popitem(last=False)
             victim = EvictedLine(
                 line_addr=victim_addr,
@@ -92,12 +144,35 @@ class CacheLevel:
         bucket[line_addr] = flags if flags is not None else LineFlags()
         return victim
 
+    def tag_insert(self, line_addr: int) -> None:
+        """Presence/recency-only insert for tag stores (L1/L2).
+
+        Identical residency behavior to :meth:`insert` with no flags, but
+        never materializes an :class:`EvictedLine` (inclusive hierarchies
+        ignore L1/L2 victims) and shares one flag object across lines.
+        """
+        mask = self._set_mask
+        if mask >= 0:
+            index = (line_addr >> self._shift) & mask
+        else:
+            index = (line_addr // self._line_size) % self._num_sets
+        bucket = self._sets[index]
+        if line_addr in bucket:
+            bucket.move_to_end(line_addr)
+            return
+        if len(bucket) >= self._ways:
+            bucket.popitem(last=False)
+            self.evictions += 1
+        bucket[line_addr] = _TAG
+
     def invalidate(self, line_addr: int) -> Optional[LineFlags]:
         """Drop a line (inclusive-hierarchy back-invalidation)."""
-        bucket = self._sets.get(self._set_index(line_addr))
-        if bucket is None:
-            return None
-        return bucket.pop(line_addr, None)
+        mask = self._set_mask
+        if mask >= 0:
+            index = (line_addr >> self._shift) & mask
+        else:
+            index = (line_addr // self._line_size) % self._num_sets
+        return self._sets[index].pop(line_addr, None)
 
     def iter_lines(self) -> Iterator[int]:
         """All resident line addresses (test/inspection helper)."""
@@ -114,7 +189,8 @@ class CacheLevel:
         return self.misses / total if total else 0.0
 
     def clear(self) -> None:
-        self._sets.clear()
+        for bucket in self._sets.values():
+            bucket.clear()
 
     def reset_stats(self) -> None:
         self.hits = 0

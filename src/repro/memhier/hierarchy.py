@@ -17,26 +17,33 @@ Design notes
   supplies the line (home region, OOP region, log, or shadow copy — that is
   the scheme's whole point); on a dirty eviction the scheme decides where
   the bytes go.  The hierarchy never touches NVM itself.
+
+* **Hot-path layout.**  ``load``/``store`` are the innermost functions of
+  every simulation, so the common case (an L1 hit) is kept free of LLC
+  probes: per-line flags are mirrored in a flat dict (``_flags``) whose
+  lifetime exactly matches ``_data`` (LLC residency), and the per-level
+  latencies are cached as plain floats at construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
-from repro.common.addr import CACHE_LINE_BYTES, cache_line_base
+from repro.common.addr import CACHE_LINE_BYTES
 from repro.common.config import SystemConfig
 from repro.common.errors import AddressError
-from repro.memhier.cache import CacheLevel, LineFlags
+from repro.memhier.cache import _TAG, CacheLevel, LineFlags
 
 # fill_handler(line_addr, now_ns) -> (line_bytes, extra_latency_ns)
 FillHandler = Callable[[int, float], Tuple[bytes, float]]
 # evict_handler(line_addr, data, dirty, persistent, tx_id, now_ns) -> None
 EvictHandler = Callable[[int, bytes, bool, bool, int, float], None]
 
+_LINE_MASK = ~(CACHE_LINE_BYTES - 1)
 
-@dataclass(frozen=True)
-class AccessOutcome:
+
+class AccessOutcome(NamedTuple):
     """Where an access hit and what it cost."""
 
     hit_level: str  # "L1", "L2", "LLC", or "MEM"
@@ -76,8 +83,30 @@ class CacheHierarchy:
         self._evict = evict_handler
         self._l1 = [CacheLevel(config.l1) for _ in range(config.num_cores)]
         self._l2 = [CacheLevel(config.l2) for _ in range(config.num_cores)]
+        # Back-invalidation sweeps every private level; one flat list
+        # halves the loop bookkeeping on each LLC eviction.
+        self._private_levels = self._l1 + self._l2
         self._llc = CacheLevel(config.llc)
         self._data: Dict[int, bytearray] = {}
+        # Flags mirror: same keys as _data, pointing at the LineFlags
+        # objects stored in the LLC tag array.  Lets load/store reach a
+        # line's flags by one dict probe instead of a set-associative
+        # LLC lookup.
+        self._flags: Dict[int, LineFlags] = {}
+        # Per-level latencies as plain floats (dataclass attribute chains
+        # are measurable on the hot path).
+        self._l1_latency = config.l1.latency_ns
+        self._l2_latency = config.l2.latency_ns
+        self._llc_latency = config.llc.latency_ns
+        self._num_cores = config.num_cores
+        # Hit latencies never vary, so the three hit outcomes are shared
+        # immutable singletons; only MEM outcomes (fill latency varies)
+        # are built per miss.
+        self._out_l1 = AccessOutcome("L1", self._l1_latency)
+        self._out_l2 = AccessOutcome("L2", self._l1_latency + self._l2_latency)
+        self._out_llc = AccessOutcome(
+            "LLC", self._l1_latency + self._l2_latency + self._llc_latency
+        )
         self.stats = HierarchyStats()
 
     # -- internals -----------------------------------------------------------
@@ -87,24 +116,49 @@ class CacheHierarchy:
             raise AddressError(f"core {core} out of range")
 
     def _back_invalidate(self, line_addr: int) -> None:
-        for level in self._l1:
-            level.invalidate(line_addr)
-        for level in self._l2:
-            level.invalidate(line_addr)
+        # CacheLevel.invalidate inlined (same set-index math, result
+        # unused): this sweep runs per LLC eviction across 2*num_cores
+        # tag stores.
+        for level in self._private_levels:
+            mask = level._set_mask
+            if mask >= 0:
+                index = (line_addr >> level._shift) & mask
+            else:
+                index = (line_addr // level._line_size) % level._num_sets
+            level._sets[index].pop(line_addr, None)
 
     def _evict_victim(self, victim, now_ns: float) -> None:
-        data = self._data.pop(victim.line_addr, None)
-        self._back_invalidate(victim.line_addr)
-        if data is None:
-            return
-        if victim.dirty:
-            self.stats.dirty_evictions += 1
-        self._evict(
+        self._evict_victim_fields(
             victim.line_addr,
-            bytes(data),
             victim.dirty,
             victim.persistent,
             victim.tx_id,
+            now_ns,
+        )
+
+    def _evict_victim_fields(
+        self,
+        line_addr: int,
+        dirty: bool,
+        persistent: bool,
+        tx_id: int,
+        now_ns: float,
+    ) -> None:
+        # Same behavior as _evict_victim without requiring an EvictedLine
+        # (the LLC-miss fill path passes the victim's fields directly).
+        data = self._data.pop(line_addr, None)
+        self._flags.pop(line_addr, None)
+        self._back_invalidate(line_addr)
+        if data is None:
+            return
+        if dirty:
+            self.stats.dirty_evictions += 1
+        self._evict(
+            line_addr,
+            bytes(data),
+            dirty,
+            persistent,
+            tx_id,
             now_ns,
         )
 
@@ -112,34 +166,122 @@ class CacheHierarchy:
         self, core: int, line_addr: int, now_ns: float
     ) -> Tuple[str, float]:
         """Bring a line into L1/L2/LLC; returns (hit level, latency)."""
-        cfg = self.config
-        latency = cfg.l1.latency_ns
-        if self._l1[core].lookup(line_addr) is not None:
-            return "L1", latency
-        latency += cfg.l2.latency_ns
-        if self._l2[core].lookup(line_addr) is not None:
-            self._l1[core].insert(line_addr)
-            return "L2", latency
-        latency += cfg.llc.latency_ns
-        self.stats.llc_accesses += 1
-        if self._llc.lookup(line_addr) is not None:
-            self._l2[core].insert(line_addr)
-            self._l1[core].insert(line_addr)
-            return "LLC", latency
+        if self._l1[core].probe(line_addr):
+            return "L1", self._l1_latency
+        outcome = self._miss_resident(core, line_addr, now_ns)
+        return outcome.hit_level, outcome.latency_ns
+
+    def _miss_resident(
+        self, core: int, line_addr: int, now_ns: float
+    ) -> AccessOutcome:
+        """L1-missed path of residency: probe L2/LLC, fill on LLC miss.
+
+        The L2/LLC probes are inlined from :meth:`CacheLevel.probe`
+        (identical stats/LRU side effects) — this path runs on every L1
+        miss and the probe-call overhead is measurable.
+        """
+        l1 = self._l1[core]
+        l2 = self._l2[core]
+        mask = l2._set_mask
+        if mask >= 0:
+            l2_index = (line_addr >> l2._shift) & mask
+        else:
+            l2_index = (line_addr // l2._line_size) % l2._num_sets
+        l2_bucket = l2._sets[l2_index]
+        if line_addr in l2_bucket:
+            l2.hits += 1
+            l2_bucket.move_to_end(line_addr)
+            # CacheLevel.tag_insert inlined for the L1 refill (and below
+            # for L2): this runs on every L1 miss.
+            mask = l1._set_mask
+            if mask >= 0:
+                index = (line_addr >> l1._shift) & mask
+            else:
+                index = (line_addr // l1._line_size) % l1._num_sets
+            bucket = l1._sets[index]
+            if line_addr in bucket:
+                bucket.move_to_end(line_addr)
+            else:
+                if len(bucket) >= l1._ways:
+                    bucket.popitem(last=False)
+                    l1.evictions += 1
+                bucket[line_addr] = _TAG
+            return self._out_l2
+        l2.misses += 1
+        stats = self.stats
+        stats.llc_accesses += 1
+        llc = self._llc
+        mask = llc._set_mask
+        if mask >= 0:
+            index = (line_addr >> llc._shift) & mask
+        else:
+            index = (line_addr // llc._line_size) % llc._num_sets
+        bucket = llc._sets[index]
+        if line_addr in bucket:
+            llc.hits += 1
+            bucket.move_to_end(line_addr)
+            if len(l2_bucket) >= l2._ways:
+                l2_bucket.popitem(last=False)
+                l2.evictions += 1
+            l2_bucket[line_addr] = _TAG
+            mask = l1._set_mask
+            if mask >= 0:
+                index = (line_addr >> l1._shift) & mask
+            else:
+                index = (line_addr // l1._line_size) % l1._num_sets
+            bucket = l1._sets[index]
+            if line_addr in bucket:
+                bucket.move_to_end(line_addr)
+            else:
+                if len(bucket) >= l1._ways:
+                    bucket.popitem(last=False)
+                    l1.evictions += 1
+                bucket[line_addr] = _TAG
+            return self._out_llc
+        llc.misses += 1
         # LLC miss: the scheme supplies the line.
-        self.stats.llc_misses += 1
+        stats.llc_misses += 1
         data, extra = self._fill(line_addr, now_ns)
         if len(data) != CACHE_LINE_BYTES:
             raise AddressError(
                 f"fill handler returned {len(data)} bytes for a line"
             )
-        victim = self._llc.insert(line_addr, LineFlags())
-        if victim is not None:
-            self._evict_victim(victim, now_ns)
+        flags = LineFlags()
+        # CacheLevel.insert inlined: the line just missed the LLC probe
+        # above, so only the victim/insert arm can run.
+        if len(bucket) >= llc._ways:
+            victim_addr, victim_flags = bucket.popitem(last=False)
+            llc.evictions += 1
+            bucket[line_addr] = flags
+            self._evict_victim_fields(
+                victim_addr,
+                victim_flags.dirty,
+                victim_flags.persistent,
+                victim_flags.tx_id,
+                now_ns,
+            )
+        else:
+            bucket[line_addr] = flags
         self._data[line_addr] = bytearray(data)
-        self._l2[core].insert(line_addr)
-        self._l1[core].insert(line_addr)
-        return "MEM", latency + extra
+        self._flags[line_addr] = flags
+        # tag_insert inlined for L2/L1 refill; eviction above can only
+        # have removed the *victim's* line from these buckets, so the
+        # missing-line arm still holds for line_addr.
+        if len(l2_bucket) >= l2._ways:
+            l2_bucket.popitem(last=False)
+            l2.evictions += 1
+        l2_bucket[line_addr] = _TAG
+        mask = l1._set_mask
+        if mask >= 0:
+            index = (line_addr >> l1._shift) & mask
+        else:
+            index = (line_addr // l1._line_size) % l1._num_sets
+        l1_bucket = l1._sets[index]
+        if len(l1_bucket) >= l1._ways:
+            l1_bucket.popitem(last=False)
+            l1.evictions += 1
+        l1_bucket[line_addr] = _TAG
+        return AccessOutcome("MEM", self._out_llc.latency_ns + extra)
 
     # -- public API ------------------------------------------------------------
 
@@ -147,15 +289,41 @@ class CacheHierarchy:
         self, core: int, addr: int, size: int, now_ns: float = 0.0
     ) -> Tuple[bytes, AccessOutcome]:
         """Read ``size`` bytes within one cache line."""
-        self._check_core(core)
-        line = cache_line_base(addr)
-        if cache_line_base(addr + size - 1) != line:
+        if not 0 <= core < self._num_cores:
+            raise AddressError(f"core {core} out of range")
+        line = addr & _LINE_MASK
+        if (addr + size - 1) & _LINE_MASK != line:
             raise AddressError("load must not cross a cache-line boundary")
         self.stats.loads += 1
-        level, latency = self._ensure_resident(core, line, now_ns)
+        if self._l1[core].probe(line):
+            outcome = self._out_l1
+        else:
+            outcome = self._miss_resident(core, line, now_ns)
         offset = addr - line
         data = bytes(self._data[line][offset : offset + size])
-        return data, AccessOutcome(level, latency)
+        return data, outcome
+
+    def load_u64(
+        self, core: int, addr: int, now_ns: float = 0.0
+    ) -> Tuple[int, float]:
+        """Aligned 8-byte read; returns ``(value, latency_ns)``.
+
+        Equivalent to :meth:`load` for an 8-aligned address (which can
+        never cross a line) but skips bytes materialization and outcome
+        construction — this is the pointer-chase innermost call of every
+        tree/list workload.
+        """
+        if not 0 <= core < self._num_cores:
+            raise AddressError(f"core {core} out of range")
+        line = addr & _LINE_MASK
+        self.stats.loads += 1
+        if self._l1[core].probe(line):
+            latency = self._l1_latency
+        else:
+            latency = self._miss_resident(core, line, now_ns).latency_ns
+        offset = addr - line
+        data = self._data[line]
+        return int.from_bytes(data[offset : offset + 8], "little"), latency
 
     def store(
         self,
@@ -168,42 +336,47 @@ class CacheHierarchy:
         tx_id: int = 0,
     ) -> AccessOutcome:
         """Write bytes within one cache line (write-allocate)."""
-        self._check_core(core)
+        if not 0 <= core < self._num_cores:
+            raise AddressError(f"core {core} out of range")
         if not data:
             raise AddressError("empty store")
-        line = cache_line_base(addr)
-        if cache_line_base(addr + len(data) - 1) != line:
+        line = addr & _LINE_MASK
+        if (addr + len(data) - 1) & _LINE_MASK != line:
             raise AddressError("store must not cross a cache-line boundary")
         self.stats.stores += 1
-        level, latency = self._ensure_resident(core, line, now_ns)
+        if self._l1[core].probe(line):
+            outcome = self._out_l1
+        else:
+            outcome = self._miss_resident(core, line, now_ns)
         offset = addr - line
         self._data[line][offset : offset + len(data)] = data
-        flags = self._llc.lookup(line, touch=False)
-        assert flags is not None, "line must be LLC-resident after fill"
+        # The flags mirror shares keys with _data, so the line is always
+        # present after residency is ensured.
+        flags = self._flags[line]
         flags.dirty = True
         if persistent:
             flags.persistent = True
             flags.tx_id = tx_id
-        return AccessOutcome(level, latency)
+        return outcome
 
     def peek_line(self, line_addr: int) -> Optional[bytes]:
         """Current cached bytes of a line, or None if not resident."""
-        data = self._data.get(cache_line_base(line_addr))
+        data = self._data.get(line_addr & _LINE_MASK)
         return bytes(data) if data is not None else None
 
     def is_resident(self, line_addr: int) -> bool:
-        return cache_line_base(line_addr) in self._data
+        return line_addr & _LINE_MASK in self._data
 
     def line_flags(self, line_addr: int) -> Optional[LineFlags]:
-        return self._llc.lookup(cache_line_base(line_addr), touch=False)
+        return self._flags.get(line_addr & _LINE_MASK)
 
     def writeback_line(self, line_addr: int, now_ns: float = 0.0) -> bool:
         """clwb-style: push a dirty line to the scheme, keep it cached clean.
 
         Returns True when a writeback actually happened.
         """
-        line = cache_line_base(line_addr)
-        flags = self._llc.lookup(line, touch=False)
+        line = line_addr & _LINE_MASK
+        flags = self._flags.get(line)
         if flags is None or not flags.dirty:
             return False
         self._evict(
@@ -219,8 +392,9 @@ class CacheHierarchy:
 
     def flush_line(self, line_addr: int, now_ns: float = 0.0) -> bool:
         """clflush-style: write back if dirty, then invalidate everywhere."""
-        line = cache_line_base(line_addr)
+        line = line_addr & _LINE_MASK
         flags = self._llc.invalidate(line)
+        self._flags.pop(line, None)
         data = self._data.pop(line, None)
         self._back_invalidate(line)
         if flags is None or data is None:
@@ -234,15 +408,17 @@ class CacheHierarchy:
     def dirty_lines(self) -> List[Tuple[int, bytes, LineFlags]]:
         """All dirty resident lines (inspection / commit-drain helper)."""
         out = []
-        for line in list(self._data.keys()):
-            flags = self._llc.lookup(line, touch=False)
+        flags_map = self._flags
+        for line, data in self._data.items():
+            flags = flags_map.get(line)
             if flags is not None and flags.dirty:
-                out.append((line, bytes(self._data[line]), flags))
+                out.append((line, bytes(data), flags))
         return out
 
     def crash(self) -> None:
         """Power failure: every volatile line vanishes."""
         self._data.clear()
+        self._flags.clear()
         self._llc.clear()
         for level in self._l1:
             level.clear()

@@ -60,14 +60,16 @@ class SkipList(Generic[V]):
         """Predecessors at every level, counting hops."""
         update: List[_Node[V]] = [self._head] * _MAX_LEVEL
         node = self._head
+        hops = 0
         for level in range(self._level - 1, -1, -1):
             nxt = node.forward[level]
             while nxt is not None and nxt.key < key:
                 node = nxt
                 nxt = node.forward[level]
-                self.hops += 1
+                hops += 1
             update[level] = node
-            self.hops += 1
+            hops += 1
+        self.hops += hops
         return update
 
     def insert(self, key: int, value: V) -> int:

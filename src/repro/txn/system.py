@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.common.addr import split_by_cache_line
+from repro.common.addr import CACHE_LINE_BYTES, split_by_cache_line
 from repro.common.config import SystemConfig
-from repro.common.errors import TransactionError
+from repro.common.errors import AddressError, TransactionError
 from repro.memhier.hierarchy import CacheHierarchy
 from repro.nvm.device import NVMDevice
 from repro.schemes import make_scheme
@@ -35,6 +35,8 @@ from repro.txn.transaction import Transaction
 # 2.5 GHz and IPC ~1 is 10 ns.  Without this, simulated transactions are
 # implausibly short and commit-time persists dominate every ratio.
 _OP_OVERHEAD_NS = 10.0
+
+_LINE_MASK = ~(CACHE_LINE_BYTES - 1)
 
 
 class MemorySystem:
@@ -168,6 +170,53 @@ class MemorySystem:
             raise TransactionError("empty transactional store")
         core = tx.core
         now = self.clocks[core]
+        size = len(data)
+        line_addr = addr & _LINE_MASK
+        if addr >= 0 and (addr + size - 1) & _LINE_MASK == line_addr:
+            # Fast path: the store stays within one cache line (the
+            # dominant case — workloads store word-sized fields).
+            # ``hierarchy.store`` + ``peek_line`` are inlined here: this
+            # is the hottest function of every simulation, and the extra
+            # call layers plus AccessOutcome construction are measurable.
+            # Stats/flag side effects mirror hierarchy.store exactly.
+            h = self.hierarchy
+            if not 0 <= core < h._num_cores:
+                raise AddressError(f"core {core} out of range")
+            h.stats.stores += 1
+            l1 = h._l1[core]
+            mask = l1._set_mask
+            if mask >= 0:
+                index = (line_addr >> l1._shift) & mask
+            else:
+                index = (line_addr // l1._line_size) % l1._num_sets
+            bucket = l1._sets[index]
+            if line_addr in bucket:
+                l1.hits += 1
+                bucket.move_to_end(line_addr)
+                latency = h._l1_latency
+            else:
+                l1.misses += 1
+                latency = h._miss_resident(core, line_addr, now).latency_ns
+            line = h._data[line_addr]
+            offset = addr - line_addr
+            line[offset : offset + size] = data
+            flags = h._flags[line_addr]
+            flags.dirty = True
+            flags.persistent = True
+            flags.tx_id = tx.tx_id
+            now = self.scheme.on_store(
+                core,
+                tx.tx_id,
+                addr,
+                size,
+                line_addr,
+                bytes(line),
+                # Parenthesized to match the split-loop's `now += lat +
+                # overhead` association bit-for-bit.
+                now + (latency + _OP_OVERHEAD_NS),
+            )
+            self.clocks[core] = now
+            return
         for line_addr, piece_addr, piece_size in split_by_cache_line(
             addr, len(data)
         ):
@@ -189,8 +238,46 @@ class MemorySystem:
             )
         self.clocks[core] = now
 
+    def _load_u64(self, core: int, addr: int) -> int:
+        # The pointer-chase primitive of every tree/list workload.
+        # ``hierarchy.load_u64`` (and its L1 probe) are inlined; side
+        # effects mirror the generic path exactly.
+        if addr < 0 or addr & 7:
+            return int.from_bytes(self._load(core, addr, 8), "little")
+        h = self.hierarchy
+        if not 0 <= core < h._num_cores:
+            raise AddressError(f"core {core} out of range")
+        line_addr = addr & _LINE_MASK
+        h.stats.loads += 1
+        now = self.clocks[core]
+        l1 = h._l1[core]
+        mask = l1._set_mask
+        if mask >= 0:
+            index = (line_addr >> l1._shift) & mask
+        else:
+            index = (line_addr // l1._line_size) % l1._num_sets
+        bucket = l1._sets[index]
+        if line_addr in bucket:
+            l1.hits += 1
+            bucket.move_to_end(line_addr)
+            latency = h._l1_latency
+        else:
+            l1.misses += 1
+            latency = h._miss_resident(core, line_addr, now).latency_ns
+        self.clocks[core] = now + (latency + _OP_OVERHEAD_NS)
+        self.scheme.stats.tx_loads += 1
+        offset = addr - line_addr
+        data = h._data[line_addr]
+        return int.from_bytes(data[offset : offset + 8], "little")
+
     def _load(self, core: int, addr: int, size: int) -> bytes:
         now = self.clocks[core]
+        if addr >= 0 and size > 0 and (addr + size - 1) & _LINE_MASK == addr & _LINE_MASK:
+            # Fast path: single-line load (the dominant case).
+            data, outcome = self.hierarchy.load(core, addr, size, now)
+            self.clocks[core] = now + (outcome.latency_ns + _OP_OVERHEAD_NS)
+            self.scheme.stats.tx_loads += 1
+            return data
         chunks = []
         for _, piece_addr, piece_size in split_by_cache_line(addr, size):
             data, outcome = self.hierarchy.load(core, piece_addr, piece_size, now)

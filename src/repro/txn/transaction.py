@@ -57,24 +57,34 @@ class Transaction:
 
     def store(self, addr: int, data: bytes) -> None:
         """Write ``data`` at ``addr`` (any size; split across lines)."""
-        self._check_active()
+        if not self._active or self.tx_id is None:
+            raise TransactionError("transaction is not active")
         self.system._store(self, addr, data)
         self.stores += 1
 
     def load(self, addr: int, size: int) -> bytes:
         """Read ``size`` bytes at ``addr``."""
-        self._check_active()
+        if not self._active or self.tx_id is None:
+            raise TransactionError("transaction is not active")
         self.loads += 1
         return self.system._load(self.core, addr, size)
 
     # Convenience accessors for word-sized integers, the dominant unit in
-    # the paper's data-structure workloads.
+    # the paper's data-structure workloads.  They skip one delegation
+    # layer — these two calls bound the per-operation overhead of every
+    # pointer chase in the tree/list workloads.
 
     def store_u64(self, addr: int, value: int) -> None:
-        self.store(addr, int(value).to_bytes(8, "little"))
+        if not self._active or self.tx_id is None:
+            raise TransactionError("transaction is not active")
+        self.system._store(self, addr, int(value).to_bytes(8, "little"))
+        self.stores += 1
 
     def load_u64(self, addr: int) -> int:
-        return int.from_bytes(self.load(addr, 8), "little")
+        if not self._active or self.tx_id is None:
+            raise TransactionError("transaction is not active")
+        self.loads += 1
+        return self.system._load_u64(self.core, addr)
 
     @property
     def latency_ns(self) -> float:

@@ -1,0 +1,103 @@
+"""Determinism and caching contracts of the parallel harness.
+
+The whole Layer-2 design rests on two properties:
+
+* a cell's :class:`RunResult` is a pure function of its cache key, so a
+  worker process computes field-for-field the same result the parent
+  would have; and
+* the on-disk cache round-trips results exactly (JSON float round-trip
+  is lossless via ``repr``-shortest encoding).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.harness import diskcache, experiments, parallel
+
+_SPECS = [
+    parallel.CellSpec("native", "vector", "smoke"),
+    parallel.CellSpec("hoop", "vector", "smoke"),
+]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Point the disk cache at a temp dir and start from a cold memo."""
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    experiments.clear_cache()
+    diskcache.stats.reset()
+    yield
+    experiments.clear_cache()
+
+
+def test_parallel_results_identical_to_sequential():
+    sequential = {}
+    for spec in _SPECS:
+        result = experiments.run_cell(
+            spec.scheme, spec.workload, spec.scale, use_cache=False
+        )
+        sequential[spec.name] = dataclasses.asdict(result)
+    experiments.clear_cache()
+
+    report = parallel.run_matrix(_SPECS, jobs=2, use_cache=False)
+    assert report.computed == len(_SPECS)
+    for spec in _SPECS:
+        parallel_result = dataclasses.asdict(report.results[spec.name])
+        assert parallel_result == sequential[spec.name]
+
+
+def test_parallel_prewarm_seeds_the_memo():
+    report = parallel.run_matrix(_SPECS, jobs=2)
+    # A figure runner asking for the same cell afterwards must hit the
+    # memo and return the pre-warmed object itself.
+    again = experiments.run_cell("hoop", "vector", "smoke")
+    assert again is report.results["hoop/vector"]
+
+
+def test_disk_cache_round_trip_is_exact():
+    first = experiments.run_cell("native", "vector", "smoke")
+    assert diskcache.stats.stores == 1
+    experiments.clear_cache()
+    second = experiments.run_cell("native", "vector", "smoke")
+    assert diskcache.stats.hits == 1
+    assert second is not first
+    assert dataclasses.asdict(second) == dataclasses.asdict(first)
+
+
+def test_config_cells_cache_by_field_values():
+    """Satellite: an explicit config= keys the cache by value, not identity."""
+    cfg_a = SystemConfig.small()
+    cfg_b = SystemConfig.small()
+    key_a = experiments.cell_key("hoop", "vector", "smoke", 7, 64, cfg_a, None)
+    key_b = experiments.cell_key("hoop", "vector", "smoke", 7, 64, cfg_b, None)
+    assert cfg_a is not cfg_b
+    assert key_a == key_b
+
+    nvm = dataclasses.replace(cfg_b.nvm, read_latency_ns=999.0)
+    cfg_c = cfg_b.replace(nvm=nvm)
+    key_c = experiments.cell_key("hoop", "vector", "smoke", 7, 64, cfg_c, None)
+    assert key_c != key_a
+
+
+def test_key_digest_is_stable_and_discriminating():
+    key_1 = experiments.cell_key("hoop", "vector", "smoke", 7, 64, None, None)
+    key_2 = experiments.cell_key("hoop", "vector", "smoke", 7, 64, None, {})
+    key_3 = experiments.cell_key("hoop", "vector", "smoke", 8, 64, None, None)
+    assert diskcache.key_digest(key_1) == diskcache.key_digest(key_2)
+    assert diskcache.key_digest(key_1) != diskcache.key_digest(key_3)
+    assert diskcache.code_fingerprint() == diskcache.code_fingerprint()
+
+
+def test_memo_is_lru_bounded():
+    limit = experiments._CELL_CACHE_MAX
+    for i in range(limit + 16):
+        experiments.seed_cache(("synthetic", i), object())
+    assert len(experiments._CELL_CACHE) == limit
+    # Oldest synthetic keys fell out, newest survived.
+    assert ("synthetic", limit + 15) in experiments._CELL_CACHE
+    assert ("synthetic", 0) not in experiments._CELL_CACHE

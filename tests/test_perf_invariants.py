@@ -1,0 +1,81 @@
+"""Property tests for the O(1) OOP-region occupancy accounting.
+
+``OOPRegion.fill_fraction`` (and through it ``GarbageCollector.pressure``)
+reads an incrementally-maintained busy-block counter instead of
+re-scanning every block header.  These tests drive randomized
+store/GC/crash sequences and assert, at every step, that the counter
+equals a from-scratch recount — with the region's paranoid invariant
+mode enabled so every ``fill_fraction`` read re-verifies itself too.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core import oop_region
+from repro.core.oop_region import BlockState
+from repro.txn.system import MemorySystem
+
+
+@pytest.fixture(autouse=True)
+def _paranoid_region():
+    previous = oop_region.set_invariant_checks(True)
+    yield
+    oop_region.set_invariant_checks(previous)
+
+
+def _recount_busy(region) -> int:
+    return sum(1 for state in region._state if state != BlockState.UNUSED)
+
+
+def _store_some(system, rng, addrs) -> None:
+    core = rng.randrange(system.config.num_cores)
+    with system.transaction(core) as tx:
+        for _ in range(rng.randint(1, 4)):
+            tx.store_u64(rng.choice(addrs), rng.getrandbits(64))
+
+
+@pytest.mark.parametrize("seed", [1234, 9001])
+def test_incremental_fill_accounting_survives_store_gc_crash(seed):
+    rng = random.Random(seed)
+    system = MemorySystem(SystemConfig.small(), scheme="hoop")
+    controller = system.scheme.controller
+    region = controller.region
+    gc = controller.gc
+    addrs = [system.allocate(8) for _ in range(64)]
+
+    for step in range(150):
+        roll = rng.random()
+        if roll < 0.80:
+            _store_some(system, rng, addrs)
+        elif roll < 0.92:
+            gc.run(system.now_ns, on_demand=True)
+        else:
+            system.crash()
+            system.recover()
+        # The counter must agree with a full recount after every event.
+        region.verify_accounting()
+        assert region.busy_blocks == _recount_busy(region)
+        # fill_fraction itself re-verifies under the paranoid fixture and
+        # must equal the recounted ratio exactly.
+        assert region.fill_fraction == _recount_busy(region) / region.num_blocks
+
+
+def test_gc_pressure_matches_region_occupancy():
+    """pressure() reads the same O(1) counters fill_fraction does."""
+    rng = random.Random(77)
+    system = MemorySystem(SystemConfig.small(), scheme="hoop")
+    controller = system.scheme.controller
+    region = controller.region
+    gc = controller.gc
+    addrs = [system.allocate(8) for _ in range(32)]
+    for _ in range(40):
+        _store_some(system, rng, addrs)
+    region.verify_accounting()
+    # Forcing a pass must keep the accounting consistent afterwards.
+    gc.run(system.now_ns, on_demand=True)
+    region.verify_accounting()
+    assert region.busy_blocks == _recount_busy(region)
