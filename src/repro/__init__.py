@@ -22,6 +22,7 @@ Quickstart::
 from repro.common.config import (
     CacheConfig,
     EnergyConfig,
+    FaultConfig,
     GCConfig,
     HoopConfig,
     NVMConfig,
@@ -39,6 +40,7 @@ __all__ = [
     "CacheConfig",
     "NVMConfig",
     "EnergyConfig",
+    "FaultConfig",
     "GCConfig",
     "HoopConfig",
     "__version__",

@@ -53,6 +53,7 @@ def bench_matrix(
             "hits": diskcache.stats.hits,
             "misses": diskcache.stats.misses,
             "stores": diskcache.stats.stores,
+            "degraded": diskcache.stats.degraded,
         },
         "cells": cells,
     }

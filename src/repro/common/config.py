@@ -89,6 +89,66 @@ class NVMConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection plan for the NVM device.
+
+    With ``enabled=False`` (the default) the system builds the plain
+    :class:`~repro.nvm.device.NVMDevice` and nothing here perturbs a
+    simulation.  With ``enabled=True`` the device is wrapped by
+    :class:`repro.faults.FaultyNVMDevice`, which models:
+
+    * **power loss** after ``power_loss_after_write`` successful timed
+      writes (the next write is the fatal one);
+    * **torn writes** — when ``torn`` is set, the fatal write is applied
+      only partially, at 8-byte word granularity, the subset chosen by
+      the seeded PRNG;
+    * **transient media read errors** — each timed read independently
+      fails with ``read_error_rate`` probability; the memory port
+      retries with exponential backoff in simulated time, bounded by
+      ``max_read_retries``;
+    * **stuck blocks** — writes to the listed fault blocks
+      (``fault_block_bytes`` granularity) never stick; the device
+      transparently remaps the block to hidden spare capacity
+      (``spare_blocks``), charging ``remap_penalty_ns`` and the copy
+      energy at remap time.
+
+    The dataclass is a pure value object (ints/floats/tuples), so
+    ``dataclasses.asdict`` of it *is* the serializable fault plan the
+    crash-sweep artifacts store and replay.
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    power_loss_after_write: Optional[int] = None
+    torn: bool = False
+    read_error_rate: float = 0.0
+    max_read_retries: int = 3
+    retry_backoff_ns: float = 200.0
+    stuck_blocks: tuple = ()
+    spare_blocks: int = 4
+    fault_block_bytes: int = 2 * MB
+    remap_penalty_ns: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.power_loss_after_write is not None and (
+            self.power_loss_after_write < 0
+        ):
+            raise ConfigError("power_loss_after_write must be >= 0")
+        if not 0.0 <= self.read_error_rate < 1.0:
+            raise ConfigError("read_error_rate must be in [0, 1)")
+        if self.max_read_retries < 0:
+            raise ConfigError("max_read_retries must be >= 0")
+        if self.retry_backoff_ns < 0 or self.remap_penalty_ns < 0:
+            raise ConfigError("fault latencies must be non-negative")
+        if self.spare_blocks < 0:
+            raise ConfigError("spare_blocks must be >= 0")
+        if self.fault_block_bytes <= 0:
+            raise ConfigError("fault_block_bytes must be positive")
+        if any(b < 0 for b in self.stuck_blocks):
+            raise ConfigError("stuck block indices must be >= 0")
+
+
+@dataclass(frozen=True)
 class GCConfig:
     """Garbage-collection policy for the OOP region (Section III-E).
 
@@ -182,6 +242,7 @@ class SystemConfig:
     )
     nvm: NVMConfig = field(default_factory=NVMConfig)
     hoop: HoopConfig = field(default_factory=HoopConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:

@@ -38,5 +38,32 @@ class RecoveryError(ReproError):
     """Crash recovery could not restore a consistent state."""
 
 
+class PowerLossError(ReproError):
+    """Injected power failure: the access (and all later ones) was lost.
+
+    Raised by :class:`repro.faults.FaultyNVMDevice` when an armed
+    power-loss budget expires.  The machine must go through
+    ``crash()``/``recover()`` before the device accepts writes again.
+    """
+
+
+class TransientReadError(ReproError):
+    """Injected recoverable media read error (one attempt failed).
+
+    Carries ``completion_ns`` — the simulated time the failed attempt
+    occupied the channel — so the retry layer can schedule its backoff
+    in simulated time.
+    """
+
+    def __init__(self, addr: int, completion_ns: float) -> None:
+        super().__init__(f"transient media error reading {addr:#x}")
+        self.addr = addr
+        self.completion_ns = completion_ns
+
+
+class MediaError(ReproError):
+    """Unrecoverable media failure (retries exhausted or spares gone)."""
+
+
 class AllocationError(ReproError):
     """The persistent heap could not satisfy an allocation."""

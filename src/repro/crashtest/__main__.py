@@ -1,0 +1,122 @@
+"""CLI: systematic crash-point sweep (`python -m repro.crashtest`).
+
+Usage::
+
+    python -m repro.crashtest --schemes all --sample 200 --seed 7
+    python -m repro.crashtest --schemes hoop,undo --sample 0   # exhaustive
+    python -m repro.crashtest --replay crashtest_artifacts/crash_hoop_w12.json
+
+Exit status is non-zero when any case fails (or a replay diverges from
+its recorded outcome); failing cases are saved under ``--artifact-dir``
+as fault-plan JSON that ``--replay`` re-runs exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import crashtest
+from repro.faults.plan import load_artifact
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.crashtest",
+        description="Crash-consistency sweep across NVM write boundaries.",
+    )
+    parser.add_argument(
+        "--schemes", default="all",
+        help="comma list of {%s} or 'all'" % ",".join(
+            crashtest.SWEEP_SCHEMES
+        ),
+    )
+    parser.add_argument(
+        "--sample", type=int, default=200,
+        help="crash boundaries per scheme (0 = every write boundary)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--transactions", type=int, default=80,
+        help="workload length per run",
+    )
+    parser.add_argument("--addresses", type=int, default=12)
+    parser.add_argument(
+        "--torn", choices=("never", "always", "alternate"),
+        default="alternate",
+        help="tear the fatal write at 8-byte granularity",
+    )
+    parser.add_argument("--threads", type=int, default=2,
+                        help="recovery thread count")
+    parser.add_argument(
+        "--artifact-dir", default="crashtest_artifacts",
+        help="where failing cases are saved as replayable JSON",
+    )
+    parser.add_argument(
+        "--replay", metavar="ARTIFACT",
+        help="replay one saved artifact instead of sweeping",
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        artifact = load_artifact(args.replay)
+        case = crashtest.replay_artifact(artifact)
+        same = case.failure == artifact.failure and (
+            not artifact.fingerprint
+            or case.fingerprint == artifact.fingerprint
+        )
+        print(
+            f"[crashtest] replay {args.replay}: scheme={artifact.scheme}"
+            f" boundary={artifact.faults.power_loss_after_write}"
+            f" torn={artifact.faults.torn}"
+        )
+        print(f"[crashtest]   recorded: {artifact.failure or 'pass'}")
+        print(f"[crashtest]   replayed: {case.failure or 'pass'}")
+        if not same:
+            print("[crashtest] REPLAY DIVERGED", file=sys.stderr)
+            return 1
+        print("[crashtest] replay reproduced the recorded outcome")
+        return 2 if case.failure else 0
+
+    schemes = crashtest.resolve_schemes(args.schemes)
+    any_failures = False
+    grand_cases = 0
+    started = time.time()
+    for scheme in schemes:
+        t0 = time.time()
+        result = crashtest.sweep_scheme(
+            scheme,
+            seed=args.seed,
+            transactions=args.transactions,
+            addresses=args.addresses,
+            sample=args.sample,
+            torn_mode=args.torn,
+            recovery_threads=args.threads,
+            artifact_dir=args.artifact_dir,
+            progress=print,
+        )
+        grand_cases += len(result.cases)
+        failures = result.failures
+        any_failures = any_failures or bool(failures)
+        print(
+            f"[crashtest] {scheme}: {len(result.cases)} boundaries of "
+            f"{result.total_writes} writes, {len(failures)} failures "
+            f"({time.time() - t0:.1f}s)"
+        )
+    print(
+        f"[crashtest] total: {grand_cases} cases across "
+        f"{len(schemes)} schemes in {time.time() - started:.1f}s"
+    )
+    if any_failures:
+        print(
+            f"[crashtest] FAILURES — artifacts in {args.artifact_dir}/",
+            file=sys.stderr,
+        )
+        return 1
+    print("[crashtest] all cases atomically durable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

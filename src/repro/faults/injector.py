@@ -1,0 +1,431 @@
+"""The fault injector and the device subclass that consults it.
+
+:class:`FaultyNVMDevice` extends :class:`~repro.nvm.device.NVMDevice`
+without touching its hot paths: the plain device class is still what
+every fault-free simulation runs, so disabling injection perturbs
+nothing.  The subclass intercepts the four access entry points
+(``read``/``write``/``peek``/``poke``) and routes each through the
+:class:`FaultInjector`, which owns all mutable fault state:
+
+* an armed **power-loss budget** over timed writes (and, separately,
+  over untimed pokes, which is how a crash *during recovery* is
+  injected — recovery restores the home region with pokes);
+* the seeded PRNG behind **torn-write** word selection and **transient
+  read** faults;
+* the **bad-block remap table** — the one piece of injector state that
+  survives ``restore_power()``, like a real DIMM's firmware remap table.
+
+Timing/energy honesty: a faulted read attempt still charges its channel
+occupancy and energy (the bits moved, they were just wrong); a remap
+charges the block copy's energy and a fixed penalty on the triggering
+write's completion; the fatal (power-cut) write charges nothing — the
+machine is dead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import FaultConfig, NVMConfig, SystemConfig
+from repro.common.errors import (
+    AddressError,
+    MediaError,
+    PowerLossError,
+    TransientReadError,
+)
+from repro.nvm.device import AccessResult, NVMDevice
+
+_WORD = 8
+
+# Verdicts of FaultInjector.on_timed_write().
+_WRITE_OK = 0
+_WRITE_FATAL = 1  # this write is the power-cut instant
+_WRITE_DEAD = 2  # power already lost
+
+
+@dataclass
+class FaultStats:
+    """Observable outcome counters of one injector (reset never)."""
+
+    power_cuts: int = 0  # fatal writes (power-loss instants)
+    writes_lost: int = 0  # writes refused because power was out
+    torn_writes: int = 0
+    torn_words_applied: int = 0
+    torn_words_dropped: int = 0
+    transient_read_faults: int = 0
+    stuck_block_writes: int = 0
+    remapped_blocks: int = 0
+    remap_copy_bytes: int = 0
+    remapped_accesses: int = 0
+
+
+class FaultInjector:
+    """All mutable fault state for one :class:`FaultyNVMDevice`."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.stats = FaultStats()
+        self._rng = random.Random(config.seed)
+        self._write_budget: Optional[int] = config.power_loss_after_write
+        self._poke_budget: Optional[int] = None
+        self._torn = config.torn
+        self._power_lost = False
+
+    # -- arming ------------------------------------------------------------------
+
+    def arm_power_loss(
+        self,
+        *,
+        after_writes: Optional[int] = None,
+        after_pokes: Optional[int] = None,
+        torn: Optional[bool] = None,
+    ) -> None:
+        """(Re-)arm a power-loss budget mid-run.
+
+        ``after_writes`` counts timed device writes, ``after_pokes``
+        counts functional pokes — the latter is how recovery itself is
+        crashed, since recovery restores the home region with pokes.
+        """
+        if after_writes is not None:
+            self._write_budget = after_writes
+        if after_pokes is not None:
+            self._poke_budget = after_pokes
+        if torn is not None:
+            self._torn = torn
+
+    def restore_power(self) -> None:
+        """Reboot: budgets disarm, the machine accepts writes again.
+
+        The remap table (held by the device) and the PRNG stream
+        survive — bad blocks are physical, and determinism requires the
+        stream to continue rather than restart.
+        """
+        self._power_lost = False
+        self._write_budget = None
+        self._poke_budget = None
+
+    @property
+    def power_lost(self) -> bool:
+        return self._power_lost
+
+    # -- per-access decisions -----------------------------------------------------
+
+    def on_timed_write(self) -> int:
+        if self._power_lost:
+            self.stats.writes_lost += 1
+            return _WRITE_DEAD
+        if self._write_budget is None:
+            return _WRITE_OK
+        if self._write_budget > 0:
+            self._write_budget -= 1
+            return _WRITE_OK
+        self._power_lost = True
+        self.stats.power_cuts += 1
+        return _WRITE_FATAL
+
+    def on_poke(self) -> int:
+        if self._power_lost:
+            self.stats.writes_lost += 1
+            return _WRITE_DEAD
+        if self._poke_budget is None:
+            return _WRITE_OK
+        if self._poke_budget > 0:
+            self._poke_budget -= 1
+            return _WRITE_OK
+        self._power_lost = True
+        self.stats.power_cuts += 1
+        return _WRITE_FATAL
+
+    def read_faults(self) -> bool:
+        rate = self.config.read_error_rate
+        return rate > 0.0 and self._rng.random() < rate
+
+    def torn_words_kept(self, num_words: int) -> set:
+        """Word indices of the fatal write that reach the media.
+
+        Real NVM persists 8-byte words atomically but in arbitrary
+        order, so any subset of the write may survive; ``torn=False``
+        models the cleaner all-or-nothing boundary (no word survives).
+        """
+        if not self._torn or num_words == 0:
+            return set()
+        self.stats.torn_writes += 1
+        return {i for i in range(num_words) if self._rng.random() < 0.5}
+
+
+class FaultyNVMDevice(NVMDevice):
+    """NVM device with deterministic, seedable fault injection.
+
+    Content/timing/energy/wear behaviour on fault-free accesses is the
+    base class's own (the overrides delegate), with one exception:
+    ``write_batch`` decomposes into per-write calls so every element
+    crosses the power-loss budget individually — a GC migration burst
+    can be cut mid-burst, which is exactly the crash window §III-E's
+    argument has to survive.
+    """
+
+    def __init__(
+        self,
+        config: Optional[NVMConfig] = None,
+        faults: Optional[FaultConfig] = None,
+        *,
+        wear_block_bytes: int = 2 * 1024 * 1024,
+    ) -> None:
+        super().__init__(config, wear_block_bytes=wear_block_bytes)
+        self.faults = faults or FaultConfig(enabled=True)
+        self.injector = FaultInjector(self.faults)
+        self._fault_block = self.faults.fault_block_bytes
+        self._visible_capacity = self._capacity
+        # Spare capacity is hidden above the visible address space; the
+        # base class's bounds checks are widened so translated accesses
+        # land, while the overrides enforce the visible bound first.
+        spare_bytes = self.faults.spare_blocks * self._fault_block
+        self._spare_base = (
+            (self._visible_capacity + self._fault_block - 1)
+            // self._fault_block
+            * self._fault_block
+        )
+        self._capacity = self._spare_base + spare_bytes
+        self._stuck = set(self.faults.stuck_blocks)
+        self._remap: Dict[int, int] = {}  # fault block -> spare index
+        self._spares_used = 0
+
+    # -- address translation ------------------------------------------------------
+
+    def _check_visible(self, addr: int, size: int) -> None:
+        if addr < 0 or size <= 0 or addr + size > self._visible_capacity:
+            raise AddressError(
+                f"access [{addr:#x}, +{size}) outside device of "
+                f"{self._visible_capacity} bytes"
+            )
+
+    def _translate(
+        self, addr: int, size: int
+    ) -> List[Tuple[int, int, int]]:
+        """Split ``[addr, addr+size)`` into translated segments.
+
+        Returns ``[(translated_addr, data_offset, chunk_size), ...]``;
+        a single identity segment in the common unremapped case.
+        """
+        if not self._remap:
+            return [(addr, 0, size)]
+        block = addr // self._fault_block
+        if (addr + size - 1) // self._fault_block == block:
+            spare = self._remap.get(block)
+            if spare is None:
+                return [(addr, 0, size)]
+            base = self._spare_base + spare * self._fault_block
+            return [(base + addr % self._fault_block, 0, size)]
+        segments: List[Tuple[int, int, int]] = []
+        cursor, offset, remaining = addr, 0, size
+        while remaining:
+            block = cursor // self._fault_block
+            room = (block + 1) * self._fault_block - cursor
+            chunk = min(room, remaining)
+            spare = self._remap.get(block)
+            if spare is None:
+                target = cursor
+            else:
+                target = (
+                    self._spare_base
+                    + spare * self._fault_block
+                    + cursor % self._fault_block
+                )
+            segments.append((target, offset, chunk))
+            cursor += chunk
+            offset += chunk
+            remaining -= chunk
+        return segments
+
+    def _remap_block(self, block: int) -> None:
+        """Retire a stuck block onto a spare, copying live content."""
+        if self._spares_used >= self.faults.spare_blocks:
+            raise MediaError(
+                f"block {block} is stuck and all "
+                f"{self.faults.spare_blocks} spare blocks are in use"
+            )
+        spare = self._spares_used
+        self._spares_used += 1
+        self._remap[block] = spare
+        stats = self.injector.stats
+        stats.remapped_blocks += 1
+        src_base = block * self._fault_block
+        dst_base = self._spare_base + spare * self._fault_block
+        # Copy only materialized pages (sparse device); the media-side
+        # copy charges write energy but no channel time — it never
+        # crosses the external bus.
+        page = 4096
+        for page_base in list(self._pages):
+            if src_base <= page_base < src_base + self._fault_block:
+                data = bytes(self._pages[page_base])
+                super().poke(dst_base + (page_base - src_base), data)
+                stats.remap_copy_bytes += len(data)
+                self.energy.record_write(len(data), False)
+
+    def _prepare_write_target(self, addr: int, size: int) -> None:
+        """Trigger remap for any stuck, not-yet-remapped target block."""
+        if not self._stuck:
+            return
+        first = addr // self._fault_block
+        last = (addr + size - 1) // self._fault_block
+        for block in range(first, last + 1):
+            if block in self._stuck and block not in self._remap:
+                self.injector.stats.stuck_block_writes += 1
+                self._remap_block(block)
+
+    # -- functional plane ---------------------------------------------------------
+
+    def peek(self, addr: int, size: int) -> bytes:
+        self._check_visible(addr, size)
+        segments = self._translate(addr, size)
+        if len(segments) == 1:
+            return super().peek(segments[0][0], size)
+        return b"".join(
+            super().peek(target, chunk) for target, _, chunk in segments
+        )
+
+    def poke(self, addr: int, data: bytes) -> None:
+        self._check_visible(addr, max(1, len(data)))
+        verdict = self.injector.on_poke()
+        if verdict == _WRITE_DEAD:
+            raise PowerLossError("poke after power loss")
+        size = len(data)
+        self._prepare_write_target(addr, max(1, size))
+        segments = self._translate(addr, max(1, size))
+        if verdict == _WRITE_FATAL:
+            self._apply_torn(segments, data)
+            raise PowerLossError("power lost during poke")
+        for target, offset, chunk in segments:
+            super().poke(target, data[offset : offset + chunk])
+
+    # -- timed plane --------------------------------------------------------------
+
+    def read(self, addr: int, size: int, now_ns: float = 0.0):
+        self._check_visible(addr, size)
+        segments = self._translate(addr, size)
+        if len(segments) == 1:
+            data, result = super().read(segments[0][0], size, now_ns)
+            if segments[0][0] != addr:
+                self.injector.stats.remapped_accesses += 1
+        else:
+            self.injector.stats.remapped_accesses += 1
+            parts = []
+            completion = now_ns
+            hit = False
+            for target, _, chunk in segments:
+                part, seg_result = super().read(target, chunk, now_ns)
+                parts.append(part)
+                completion = max(completion, seg_result.completion_ns)
+                hit = seg_result.row_buffer_hit
+            data = b"".join(parts)
+            result = AccessResult(now_ns, completion, hit)
+        if self.injector.read_faults():
+            self.injector.stats.transient_read_faults += 1
+            raise TransientReadError(addr, result.completion_ns)
+        return data, result
+
+    def write(
+        self,
+        addr: int,
+        data: bytes,
+        now_ns: float = 0.0,
+        *,
+        queued: bool = True,
+    ) -> AccessResult:
+        if not data:
+            return AccessResult(now_ns, now_ns, True)
+        size = len(data)
+        self._check_visible(addr, size)
+        verdict = self.injector.on_timed_write()
+        if verdict == _WRITE_DEAD:
+            raise PowerLossError("write after power loss")
+        remapped_before = len(self._remap)
+        self._prepare_write_target(addr, size)
+        penalty = (
+            (len(self._remap) - remapped_before)
+            * self.faults.remap_penalty_ns
+        )
+        segments = self._translate(addr, size)
+        if verdict == _WRITE_FATAL:
+            self._apply_torn(segments, data)
+            raise PowerLossError(
+                f"power lost during write at {addr:#x}"
+            )
+        if len(segments) == 1:
+            target = segments[0][0]
+            if target != addr:
+                self.injector.stats.remapped_accesses += 1
+            result = super().write(target, data, now_ns, queued=queued)
+        else:
+            self.injector.stats.remapped_accesses += 1
+            completion = now_ns
+            hit = False
+            for target, offset, chunk in segments:
+                seg = super().write(
+                    target, data[offset : offset + chunk], now_ns,
+                    queued=queued,
+                )
+                completion = max(completion, seg.completion_ns)
+                hit = seg.row_buffer_hit
+            result = AccessResult(now_ns, completion, hit)
+        if penalty:
+            result = AccessResult(
+                result.start_ns,
+                result.completion_ns + penalty,
+                result.row_buffer_hit,
+            )
+        return result
+
+    def write_batch(self, writes, now_ns: float = 0.0) -> None:
+        # Decomposed so each element crosses the power-loss budget; the
+        # channel sees the same queued bytes, so fault-free timing stays
+        # equivalent in aggregate.
+        for addr, data in writes:
+            if data:
+                self.write(addr, data, now_ns, queued=True)
+
+    def _apply_torn(
+        self, segments: List[Tuple[int, int, int]], data: bytes
+    ) -> None:
+        """Persist a seeded word subset of the fatal write, drop the rest."""
+        size = len(data)
+        num_words = (size + _WORD - 1) // _WORD
+        kept = self.injector.torn_words_kept(num_words)
+        stats = self.injector.stats
+        stats.torn_words_applied += len(kept)
+        stats.torn_words_dropped += num_words - len(kept)
+        if not kept:
+            return
+        for index in sorted(kept):
+            lo = index * _WORD
+            hi = min(lo + _WORD, size)
+            for target, offset, chunk in segments:
+                seg_lo = max(lo, offset)
+                seg_hi = min(hi, offset + chunk)
+                if seg_lo < seg_hi:
+                    super().poke(
+                        target + (seg_lo - offset), data[seg_lo:seg_hi]
+                    )
+
+    # -- power state --------------------------------------------------------------
+
+    def restore_power(self) -> None:
+        self.injector.restore_power()
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        return self.injector.stats
+
+
+def make_device(config: SystemConfig) -> NVMDevice:
+    """Build the NVM device a :class:`SystemConfig` asks for.
+
+    The plain :class:`NVMDevice` when fault injection is disabled —
+    guaranteeing zero perturbation of fault-free simulations — and a
+    :class:`FaultyNVMDevice` otherwise.
+    """
+    if config.faults.enabled:
+        return FaultyNVMDevice(config.nvm, config.faults)
+    return NVMDevice(config.nvm)

@@ -1,0 +1,89 @@
+"""Fault-plan and crash-artifact (de)serialization.
+
+A *fault plan* is just a :class:`~repro.common.config.FaultConfig` — a
+pure value object — rendered to/from a JSON-safe dict.  A *crash
+artifact* bundles a plan with everything else needed to replay one
+crash-sweep case exactly: the scheme, the generated workload's
+parameters, the recovery thread count, and the observed outcome.  The
+sweep harness writes an artifact for every failing case; ``python -m
+repro.crashtest --replay <artifact.json>`` re-runs it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.config import FaultConfig
+
+ARTIFACT_VERSION = 1
+
+
+def plan_to_dict(plan: FaultConfig) -> dict:
+    """JSON-safe dict of a fault plan (tuples become lists)."""
+    return dataclasses.asdict(plan)
+
+
+def plan_from_dict(payload: dict) -> FaultConfig:
+    """Rebuild a :class:`FaultConfig` from :func:`plan_to_dict` output."""
+    known = {f.name for f in dataclasses.fields(FaultConfig)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown fault-plan fields: {sorted(unknown)}")
+    kwargs = dict(payload)
+    if "stuck_blocks" in kwargs:
+        kwargs["stuck_blocks"] = tuple(kwargs["stuck_blocks"])
+    return FaultConfig(**kwargs)
+
+
+@dataclass
+class CrashArtifact:
+    """A minimal, exactly-replayable crash-sweep case."""
+
+    scheme: str
+    faults: FaultConfig
+    workload_seed: int = 7
+    transactions: int = 80
+    addresses: int = 12
+    recovery_threads: int = 2
+    # What the original run observed: None = passed, else the failure
+    # message.  Replay checks it reproduces the same outcome.
+    failure: Optional[str] = None
+    fingerprint: str = ""
+    version: int = ARTIFACT_VERSION
+    notes: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["faults"] = plan_to_dict(self.faults)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CrashArtifact":
+        payload = dict(payload)
+        version = payload.get("version", ARTIFACT_VERSION)
+        if version > ARTIFACT_VERSION:
+            raise ValueError(
+                f"artifact version {version} is newer than supported "
+                f"{ARTIFACT_VERSION}"
+            )
+        payload["faults"] = plan_from_dict(payload["faults"])
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def save_artifact(artifact: CrashArtifact, path) -> pathlib.Path:
+    """Write one artifact as pretty JSON; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(artifact.to_dict(), indent=1, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_artifact(path) -> CrashArtifact:
+    return CrashArtifact.from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -18,7 +18,9 @@ Set ``REPRO_NO_CACHE=1`` to bypass the disk entirely (the in-process
 memo in :mod:`repro.harness.experiments` still applies), and
 ``REPRO_BENCH_CACHE=<dir>`` to relocate the cache root (tests use a
 temp dir).  All I/O failures degrade to cache misses — a read-only
-checkout must never break a simulation.
+checkout must never break a simulation — but abnormal ones (corrupt
+entries, failed stores, failed prunes) are counted in
+``CacheStats.degraded`` and surfaced in ``BENCH_harness.json``.
 """
 
 from __future__ import annotations
@@ -43,11 +45,17 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    # I/O or decode failures the cache absorbed (corrupt entry, full or
+    # read-only disk, permission error).  Each still degrades to a miss
+    # or a skipped store — the simulation is unaffected — but a non-zero
+    # count in BENCH_harness.json says the cache is not actually caching.
+    degraded: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.degraded = 0
 
 
 stats = CacheStats()
@@ -101,8 +109,14 @@ def load(key: tuple) -> Optional[dict]:
     try:
         with open(_entry_path(key)) as fh:
             payload = json.load(fh)
+    except FileNotFoundError:
+        stats.misses += 1  # the ordinary cold-cache miss
+        return None
     except (OSError, ValueError):
+        # Unreadable or corrupt entry (torn concurrent write, bad disk):
+        # a miss, but a counted abnormal one.
         stats.misses += 1
+        stats.degraded += 1
         return None
     stats.hits += 1
     return payload.get("result")
@@ -124,7 +138,10 @@ def store(key: tuple, result) -> None:
         stats.stores += 1
         _prune()
     except OSError:
-        pass
+        # Read-only checkout or full disk: the result is simply not
+        # cached; nothing to clean up beyond the counter (the tmp file,
+        # if it was created, is inside the pruned cache dir).
+        stats.degraded += 1
 
 
 def _prune() -> None:
@@ -133,6 +150,7 @@ def _prune() -> None:
     try:
         dirs = [p for p in root.iterdir() if p.is_dir()]
     except OSError:
+        stats.degraded += 1
         return
     if len(dirs) <= _KEEP_FINGERPRINTS:
         return
@@ -143,4 +161,6 @@ def _prune() -> None:
                 entry.unlink()
             stale.rmdir()
         except OSError:
-            pass
+            # Another worker may be pruning (or writing) concurrently;
+            # the directory survives until the next prune.
+            stats.degraded += 1

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+from repro.common.errors import MediaError, TransientReadError
 from repro.nvm.device import NVMDevice
 
 
@@ -41,6 +42,12 @@ class PortStats:
     async_bytes: int = 0
     read_bytes: int = 0
     sync_wait_ns: float = 0.0
+    # Fault tolerance (non-zero only with injection enabled): transient
+    # media read errors retried, the simulated time spent backing off,
+    # and reads abandoned after the retry budget.
+    read_retries: int = 0
+    retry_wait_ns: float = 0.0
+    reads_failed: int = 0
 
 
 class MemoryPort:
@@ -91,11 +98,48 @@ class MemoryPort:
         self.stats.async_bytes += sum(len(data) for _, data in writes)
 
     def read(self, addr: int, size: int, now_ns: float) -> Tuple[bytes, float]:
-        """Timed read; returns ``(data, completion_ns)``."""
-        data, result = self.device.read(addr, size, now_ns)
+        """Timed read; returns ``(data, completion_ns)``.
+
+        Transient media errors (fault injection) are retried here with
+        bounded exponential backoff *in simulated time*: each failed
+        attempt still occupied the channel and burned energy, and every
+        retry pushes the completion time further out — which is how
+        injected read errors surface in the latency model.  Exhausting
+        the budget raises :class:`~repro.common.errors.MediaError`.
+        """
+        try:
+            data, result = self.device.read(addr, size, now_ns)
+            completion = result.completion_ns
+        except TransientReadError as fault:
+            data, completion = self._read_with_retry(
+                addr, size, fault
+            )
         self.stats.reads += 1
         self.stats.read_bytes += size
-        return data, result.completion_ns
+        return data, completion
+
+    def _read_with_retry(
+        self, addr: int, size: int, fault: TransientReadError
+    ) -> Tuple[bytes, float]:
+        faults = self.device.faults  # only faulty devices raise
+        completion = fault.completion_ns
+        stats = self.stats
+        for attempt in range(1, faults.max_read_retries + 1):
+            backoff = faults.retry_backoff_ns * (2 ** (attempt - 1))
+            stats.read_retries += 1
+            stats.retry_wait_ns += backoff
+            try:
+                data, result = self.device.read(
+                    addr, size, completion + backoff
+                )
+                return data, result.completion_ns
+            except TransientReadError as again:
+                completion = again.completion_ns
+        stats.reads_failed += 1
+        raise MediaError(
+            f"read at {addr:#x} still failing after "
+            f"{faults.max_read_retries} retries"
+        ) from fault
 
     # -- fences ----------------------------------------------------------------
 

@@ -266,6 +266,34 @@ class NVMDevice:
 
     # -- bookkeeping -----------------------------------------------------------
 
+    def restore_power(self) -> None:
+        """Reboot hook after a (simulated) power failure.
+
+        The plain device has no power-failure state; the fault-injecting
+        subclass disarms its power-loss budgets here.  Called by
+        :meth:`repro.txn.system.MemorySystem.crash`.
+        """
+
+    def content_fingerprint(self) -> str:
+        """SHA-256 over all non-zero content (order- and layout-stable).
+
+        All-zero pages hash identically to untouched ones (missing pages
+        read as zeros), so two devices with equal *readable* content
+        always fingerprint equally — the byte-identity oracle the
+        crash-sweep and parallel-recovery tests compare.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        zero = bytes(_PAGE)
+        for page_base in sorted(self._pages):
+            page = self._pages[page_base]
+            if page == zero:
+                continue
+            digest.update(page_base.to_bytes(8, "little"))
+            digest.update(page)
+        return digest.hexdigest()
+
     @property
     def touched_bytes(self) -> int:
         """Bytes of backing storage actually allocated (sparse footprint)."""

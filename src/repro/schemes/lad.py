@@ -154,10 +154,19 @@ class LADScheme(PersistenceScheme):
     # -- crash & recovery -----------------------------------------------------------
 
     def crash(self) -> None:
-        # Persist-domain semantics: committed-but-draining lines complete
-        # (our functional writes already landed), uncommitted queues die.
-        self._queued.clear()
+        # Persist-domain semantics: committed transactions whose drain was
+        # still in flight complete on the controller's backup energy — a
+        # power cut mid-drain (fault injection) cannot tear them.  The
+        # remaining lines land functionally here (the system restores
+        # device power before invoking us, so the pokes are accepted);
+        # re-poking lines that already drained is idempotent, and a torn
+        # fatal write is overwritten with the full line.  Uncommitted
+        # queues evaporate with the controller's volatile state.
+        for _tx_id, lines in self._draining:
+            for line_addr, data in lines.items():
+                self.device.poke(line_addr, data)
         self._draining.clear()
+        self._queued.clear()
 
     def recover(
         self, *, threads: int = 1, bandwidth_gb_per_s: Optional[float] = None

@@ -5,6 +5,10 @@ scheme, GC); this package turns them into the paper's reported quantities
 and renders aligned text tables for the harness and EXPERIMENTS.md.
 """
 
-from repro.stats.report import FigureData, format_table
+from repro.stats.report import (
+    FigureData,
+    fault_tolerance_figure,
+    format_table,
+)
 
-__all__ = ["FigureData", "format_table"]
+__all__ = ["FigureData", "fault_tolerance_figure", "format_table"]

@@ -78,3 +78,38 @@ class FigureData:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
+
+
+def fault_tolerance_figure(system) -> FigureData:
+    """Fault-tolerance counters of one system as a renderable table.
+
+    Combines the device injector's :class:`~repro.faults.FaultStats`
+    (power cuts, torn writes, remaps) with the memory port's retry
+    accounting — the observable cost of every fault the run absorbed.
+    On a plain (fault-free) device only the port rows appear.
+    """
+    fig = FigureData(
+        "Fault report",
+        f"fault-tolerance counters ({system.scheme.name})",
+        ["Counter", "Value"],
+    )
+    fault_stats = getattr(system.device, "fault_stats", None)
+    if fault_stats is not None:
+        fig.add_row("power cuts", fault_stats.power_cuts)
+        fig.add_row("writes lost (power out)", fault_stats.writes_lost)
+        fig.add_row("torn writes", fault_stats.torn_writes)
+        fig.add_row("torn words applied", fault_stats.torn_words_applied)
+        fig.add_row("torn words dropped", fault_stats.torn_words_dropped)
+        fig.add_row(
+            "transient read faults", fault_stats.transient_read_faults
+        )
+        fig.add_row("blocks remapped", fault_stats.remapped_blocks)
+        fig.add_row("remap copy bytes", fault_stats.remap_copy_bytes)
+        fig.add_row("remapped accesses", fault_stats.remapped_accesses)
+    else:
+        fig.add_note("fault injection disabled (plain device)")
+    port = system.scheme.port.stats
+    fig.add_row("read retries", port.read_retries)
+    fig.add_row("retry wait (ns)", port.retry_wait_ns)
+    fig.add_row("reads failed", port.reads_failed)
+    return fig

@@ -21,6 +21,7 @@ from typing import Optional, Union
 from repro.common.addr import CACHE_LINE_BYTES, split_by_cache_line
 from repro.common.config import SystemConfig
 from repro.common.errors import AddressError, TransactionError
+from repro.faults import make_device
 from repro.memhier.hierarchy import CacheHierarchy
 from repro.nvm.device import NVMDevice
 from repro.schemes import make_scheme
@@ -49,7 +50,10 @@ class MemorySystem:
     ) -> None:
         self.config = config or SystemConfig.paper_default()
         if isinstance(scheme, str):
-            self.device = NVMDevice(self.config.nvm)
+            # Plain device unless the config opts into fault injection;
+            # the plain path is untouched so fault-free simulations stay
+            # bit-identical.
+            self.device = make_device(self.config)
             self.scheme = make_scheme(scheme, self.config, self.device)
         else:
             # Adopt the scheme's device so durable_state and the traffic
@@ -98,8 +102,18 @@ class MemorySystem:
     # -- crash & recovery ----------------------------------------------------------
 
     def crash(self) -> None:
-        """Power failure: caches and scheme-volatile state vanish."""
+        """Power failure: caches and scheme-volatile state vanish.
+
+        Also the reboot instant: an injected power cut is cleared so the
+        device accepts writes again (recovery runs on restored power).
+        Power is restored *before* the scheme's crash handler runs
+        because schemes with a battery-backed persist domain (LAD) finish
+        draining committed transactions there — physically that drain
+        happens during the outage on backup energy, but applying it at
+        reboot is content-identical and keeps the injector simple.
+        """
         self.hierarchy.crash()
+        self.device.restore_power()
         self.scheme.crash()
 
     def recover(

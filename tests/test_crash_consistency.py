@@ -17,7 +17,9 @@ from hypothesis import strategies as st
 
 from repro import MemorySystem, SystemConfig
 
-PERSISTENT_SCHEMES = ["hoop", "opt-redo", "opt-undo", "osp", "lsm", "lad"]
+PERSISTENT_SCHEMES = [
+    "hoop", "opt-redo", "opt-undo", "osp", "lsm", "lad", "logregion",
+]
 
 
 def run_random_workload(

@@ -1,0 +1,187 @@
+"""The crash-point sweep harness and its repro artifacts.
+
+Exercises the machinery behind ``python -m repro.crashtest``: boundary
+selection, case determinism, artifact round-trips and replay, the
+atomic-durability verifier, and — the §III-F property the harness
+exists to check — that parallel recovery is byte-identical to
+single-threaded recovery under the same fault plan, including plans
+that tear the commit-log tail.
+"""
+
+import pytest
+
+from repro import FaultConfig, crashtest
+from repro.faults.plan import (
+    CrashArtifact,
+    load_artifact,
+    plan_from_dict,
+    plan_to_dict,
+    save_artifact,
+)
+
+
+def _plan(boundary, *, seed=7, torn=False):
+    return FaultConfig(
+        enabled=True,
+        seed=seed ^ (boundary << 8),
+        power_loss_after_write=boundary,
+        torn=torn,
+    )
+
+
+class TestBoundaries:
+    def test_exhaustive_when_sample_zero(self):
+        assert crashtest.choose_boundaries(10, 0, seed=7) == list(
+            range(1, 11)
+        )
+
+    def test_sample_is_deterministic_and_anchored(self):
+        a = crashtest.choose_boundaries(500, 20, seed=7)
+        b = crashtest.choose_boundaries(500, 20, seed=7)
+        assert a == b
+        assert 1 in a and 500 in a
+        assert len(a) <= 22
+
+    def test_probe_counts_are_stable(self):
+        w1 = crashtest.count_write_boundaries(
+            "hoop", seed=7, transactions=20, addresses=8
+        )
+        w2 = crashtest.count_write_boundaries(
+            "hoop", seed=7, transactions=20, addresses=8
+        )
+        assert w1 == w2 > 0
+
+
+class TestCaseDeterminism:
+    def test_same_plan_same_fingerprint(self):
+        kwargs = dict(seed=7, transactions=30, addresses=8)
+        a = crashtest.run_case("hoop", _plan(20, torn=True), **kwargs)
+        b = crashtest.run_case("hoop", _plan(20, torn=True), **kwargs)
+        assert a.failure == b.failure
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_boundary_different_outcome_stream(self):
+        kwargs = dict(seed=7, transactions=30, addresses=8)
+        a = crashtest.run_case("hoop", _plan(5), **kwargs)
+        b = crashtest.run_case("hoop", _plan(25), **kwargs)
+        # Different crash points commit different prefixes.
+        assert (a.committed, a.fingerprint) != (b.committed, b.fingerprint)
+
+
+class TestVerifier:
+    def test_detects_lost_committed_word(self):
+        kwargs = dict(seed=7, transactions=30, addresses=8)
+        faults = _plan(20)
+        system = crashtest._build_system("hoop", faults)
+        outcome = crashtest.run_workload(system, **kwargs)
+        system.crash()
+        system.recover(threads=2)
+        assert (
+            crashtest.verify_atomic_durability(
+                system, outcome.oracle, outcome.staged
+            )
+            is None
+        )
+        # Corrupt one committed word behind recovery's back: the
+        # verifier must notice.
+        victim = next(iter(outcome.oracle))
+        system.device.poke(victim, b"\xff" * 8)
+        failure = crashtest.verify_atomic_durability(
+            system, outcome.oracle, outcome.staged
+        )
+        assert failure and "committed words lost" in failure
+
+
+class TestParallelRecovery:
+    @pytest.mark.parametrize("torn", [False, True])
+    def test_threaded_recovery_matches_single_threaded(self, torn):
+        """recover(threads=N) must be byte-identical to threads=1 for
+        the same fault plan — including plans whose power cut tears the
+        commit-log tail mid-flush (torn=True sweeps every boundary, so
+        commit-log writes are among the fatal ones)."""
+        kwargs = dict(seed=7, transactions=30, addresses=8)
+        total = crashtest.count_write_boundaries("hoop", **kwargs)
+        boundaries = crashtest.choose_boundaries(total, 12, seed=3)
+        for boundary in boundaries:
+            plan = _plan(boundary, torn=torn)
+            single = crashtest.run_case(
+                "hoop", plan, recovery_threads=1, **kwargs
+            )
+            threaded = crashtest.run_case(
+                "hoop", plan, recovery_threads=4, **kwargs
+            )
+            assert single.failure is None
+            assert threaded.failure is None
+            assert threaded.fingerprint == single.fingerprint, (
+                f"threads=4 diverged from threads=1 at boundary "
+                f"{boundary} (torn={torn})"
+            )
+
+
+class TestArtifacts:
+    def test_plan_round_trip(self):
+        plan = FaultConfig(
+            enabled=True, seed=9, power_loss_after_write=42, torn=True,
+            stuck_blocks=(1, 3),
+        )
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_plan_rejects_unknown_fields(self):
+        payload = plan_to_dict(FaultConfig(enabled=True))
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            plan_from_dict(payload)
+
+    def test_artifact_round_trip_and_replay(self, tmp_path):
+        kwargs = dict(seed=7, transactions=30, addresses=8)
+        plan = _plan(18, torn=True)
+        case = crashtest.run_case("hoop", plan, **kwargs)
+        artifact = CrashArtifact(
+            scheme="hoop",
+            faults=plan,
+            workload_seed=7,
+            transactions=30,
+            addresses=8,
+            recovery_threads=2,
+            failure=case.failure,
+            fingerprint=case.fingerprint,
+        )
+        path = save_artifact(artifact, tmp_path / "case.json")
+        loaded = load_artifact(path)
+        assert loaded.faults == plan
+        replayed = crashtest.replay_artifact(loaded)
+        assert replayed.failure == case.failure
+        assert replayed.fingerprint == case.fingerprint
+
+    def test_newer_artifact_version_is_refused(self):
+        payload = CrashArtifact(
+            scheme="hoop", faults=FaultConfig(enabled=True)
+        ).to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            CrashArtifact.from_dict(payload)
+
+
+class TestSweep:
+    def test_resolve_schemes(self):
+        assert crashtest.resolve_schemes("hoop,undo") == [
+            "hoop", "opt-undo",
+        ]
+        assert len(crashtest.resolve_schemes("all")) == 7
+        with pytest.raises(ValueError):
+            crashtest.resolve_schemes(",")
+
+    @pytest.mark.parametrize("scheme", ["hoop", "logregion"])
+    def test_sampled_sweep_passes(self, scheme, tmp_path):
+        result = crashtest.sweep_scheme(
+            scheme,
+            seed=7,
+            transactions=20,
+            addresses=8,
+            sample=10,
+            artifact_dir=str(tmp_path),
+        )
+        assert result.total_writes > 0
+        assert result.cases
+        assert not result.failures
+        assert not list(tmp_path.iterdir())  # no artifacts on success

@@ -4,23 +4,29 @@
 transactions in the OOP region") and §III-F claims the same for recovery
 itself.  These tests interrupt both at arbitrary NVM-write boundaries and
 verify the claims hold.
+
+Power loss is injected through the first-class fault layer
+(:mod:`repro.faults`) — the system is built with ``FaultConfig`` enabled
+and the budget armed on the device's injector — rather than by
+monkeypatching device methods, so the tests exercise the same code path
+as ``python -m repro.crashtest``.
 """
 
 import random
 
 import pytest
 
-from repro import MemorySystem, SystemConfig
+from repro import FaultConfig, MemorySystem, SystemConfig
+from repro.common.errors import PowerLossError
 from repro.core.slices import SLICE_BYTES
 
 
-class _CrashNow(Exception):
-    """Injected power failure."""
-
-
-def build_system(seed=11, transactions=120):
+def build_system(seed=11, transactions=120, faults=None):
     rng = random.Random(seed)
-    system = MemorySystem(SystemConfig.small(), scheme="hoop")
+    config = SystemConfig.small()
+    if faults is not None:
+        config = config.replace(faults=faults)
+    system = MemorySystem(config, scheme="hoop")
     addrs = [system.allocate(64) for _ in range(16)]
     oracle = {}
     for _ in range(transactions):
@@ -33,6 +39,13 @@ def build_system(seed=11, transactions=120):
     return system, oracle
 
 
+def build_faulty_system(seed=11, transactions=120):
+    """A system on the fault device with no fault armed yet."""
+    return build_system(
+        seed, transactions, faults=FaultConfig(enabled=True, seed=seed)
+    )
+
+
 def verify(system, oracle):
     for addr, value in oracle.items():
         assert system.durable_state(addr, 8) == value, hex(addr)
@@ -41,56 +54,35 @@ def verify(system, oracle):
 @pytest.mark.parametrize("fail_after", [1, 3, 7, 15, 40])
 def test_crash_during_gc_is_safe(fail_after):
     """Power fails after N device writes inside a GC pass."""
-    system, oracle = build_system(seed=fail_after)
-    device = system.device
-    original_write = device.write
-    budget = [fail_after]
-
-    def failing_write(addr, data, now_ns=0.0, **kwargs):
-        if budget[0] <= 0:
-            raise _CrashNow()
-        budget[0] -= 1
-        return original_write(addr, data, now_ns, **kwargs)
-
-    device.write = failing_write
+    system, oracle = build_faulty_system(seed=fail_after)
+    system.device.injector.arm_power_loss(after_writes=fail_after)
     try:
         system.scheme.controller.gc.run(system.now_ns, on_demand=True)
-    except _CrashNow:
+    except PowerLossError:
         pass
-    finally:
-        device.write = original_write
     system.crash()
     system.recover(threads=2)
     verify(system, oracle)
+    assert system.device.fault_stats.power_cuts <= 1
 
 
 @pytest.mark.parametrize("fail_after", [2, 10, 33])
 def test_crash_during_recovery_is_restartable(fail_after):
     """§III-F: recovery interrupted by another crash simply restarts."""
-    system, oracle = build_system(seed=fail_after * 7)
+    system, oracle = build_faulty_system(seed=fail_after * 7)
     system.crash()
-    device = system.device
-    original_poke = device.poke
-    budget = [fail_after]
-
-    def failing_poke(addr, data):
-        if budget[0] <= 0:
-            raise _CrashNow()
-        budget[0] -= 1
-        return original_poke(addr, data)
-
-    device.poke = failing_poke
+    # Recovery restores the home region through the functional plane, so
+    # a crash *during recovery* is armed as a poke budget.
+    system.device.injector.arm_power_loss(after_pokes=fail_after)
     try:
         system.recover(threads=2)
         interrupted = False
-    except _CrashNow:
+    except PowerLossError:
         interrupted = True
-    finally:
-        device.poke = original_poke
     system.crash()
     system.recover(threads=2)
     verify(system, oracle)
-    assert interrupted or budget[0] >= 0
+    assert interrupted == (system.device.fault_stats.power_cuts == 1)
 
 
 def test_torn_final_slice_drops_only_that_transaction():

@@ -1,0 +1,270 @@
+"""The fault-injection layer: device-level semantics.
+
+Covers the contract the crash sweep and the robustness features rely on:
+deterministic power cuts and torn writes, transient-read retry with
+backoff in the memory port, stuck-block remapping onto spare capacity,
+and — critically — that a fault-free faulty device behaves exactly like
+the plain device (the zero-perturbation guarantee's functional half).
+"""
+
+import pytest
+
+from repro import FaultConfig, SystemConfig
+from repro.common.errors import MediaError, PowerLossError
+from repro.faults import FaultyNVMDevice, make_device
+from repro.memctrl.port import MemoryPort
+from repro.nvm.device import NVMDevice
+
+
+def test_make_device_plain_when_disabled():
+    config = SystemConfig.small()
+    device = make_device(config)
+    assert type(device) is NVMDevice
+
+
+def test_make_device_faulty_when_enabled():
+    config = SystemConfig.small().replace(faults=FaultConfig(enabled=True))
+    device = make_device(config)
+    assert isinstance(device, FaultyNVMDevice)
+
+
+def test_faultfree_faulty_device_matches_plain_content():
+    plain = NVMDevice()
+    faulty = FaultyNVMDevice(faults=FaultConfig(enabled=True, seed=3))
+    for i in range(32):
+        addr = 4096 + 64 * i
+        data = bytes([i]) * 64
+        plain.write(addr, data, 0.0)
+        faulty.write(addr, data, 0.0)
+    assert faulty.peek(4096, 64 * 32) == plain.peek(4096, 64 * 32)
+    assert faulty.content_fingerprint() == plain.content_fingerprint()
+
+
+class TestPowerLoss:
+    def test_budget_counts_timed_writes(self):
+        device = FaultyNVMDevice(
+            faults=FaultConfig(enabled=True, power_loss_after_write=3)
+        )
+        for i in range(3):
+            device.write(4096 + 64 * i, b"x" * 64, 0.0)
+        with pytest.raises(PowerLossError):
+            device.write(4096 + 192, b"y" * 64, 0.0)
+        # The machine stays dead until power is restored.
+        with pytest.raises(PowerLossError):
+            device.write(4096, b"z" * 64, 0.0)
+        assert device.fault_stats.power_cuts == 1
+        assert device.fault_stats.writes_lost == 1
+        device.restore_power()
+        device.write(4096, b"z" * 64, 0.0)
+        assert device.peek(4096, 1) == b"z"
+
+    def test_clean_cut_drops_fatal_write_entirely(self):
+        device = FaultyNVMDevice(
+            faults=FaultConfig(
+                enabled=True, power_loss_after_write=1, torn=False
+            )
+        )
+        device.write(4096, b"a" * 64, 0.0)
+        with pytest.raises(PowerLossError):
+            device.write(8192, b"b" * 64, 0.0)
+        assert device.peek(8192, 64) == bytes(64)
+
+    def test_torn_cut_applies_seeded_word_subset(self):
+        def run(seed):
+            device = FaultyNVMDevice(
+                faults=FaultConfig(
+                    enabled=True, seed=seed,
+                    power_loss_after_write=0, torn=True,
+                )
+            )
+            with pytest.raises(PowerLossError):
+                device.write(4096, bytes(range(64)), 0.0)
+            return device.peek(4096, 64)
+
+        torn = run(seed=1)
+        assert torn == run(seed=1)  # deterministic for a fixed seed
+        expect = bytes(range(64))
+        words = [
+            (torn[i : i + 8], expect[i : i + 8]) for i in range(0, 64, 8)
+        ]
+        # Every word is atomic: either fully applied or still zero.
+        assert all(got in (want, bytes(8)) for got, want in words)
+
+    def test_poke_budget_crashes_functional_plane(self):
+        device = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        device.injector.arm_power_loss(after_pokes=2)
+        device.poke(4096, b"a")
+        device.poke(4097, b"b")
+        with pytest.raises(PowerLossError):
+            device.poke(4098, b"c")
+
+
+class TestTransientReads:
+    def test_port_retries_and_succeeds(self):
+        faults = FaultConfig(
+            enabled=True, seed=5, read_error_rate=0.4, max_read_retries=8
+        )
+        device = FaultyNVMDevice(faults=faults)
+        device.write(4096, b"q" * 64, 0.0)
+        port = MemoryPort(device)
+        for _ in range(40):
+            data, _ = port.read(4096, 64, 0.0)
+            assert data == b"q" * 64
+        assert device.fault_stats.transient_read_faults > 0
+        assert port.stats.read_retries > 0
+        assert port.stats.retry_wait_ns > 0.0
+        assert port.stats.reads_failed == 0
+
+    def test_retry_pushes_completion_out(self):
+        faults = FaultConfig(
+            enabled=True, seed=5, read_error_rate=0.4, max_read_retries=8
+        )
+        device = FaultyNVMDevice(faults=faults)
+        device.write(4096, b"q" * 64, 0.0)
+        port = MemoryPort(device)
+        clean = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        clean.write(4096, b"q" * 64, 0.0)
+        clean_port = MemoryPort(clean)
+        worst = baseline = 0.0
+        for _ in range(40):
+            _, completion = port.read(4096, 64, 0.0)
+            _, clean_completion = clean_port.read(4096, 64, 0.0)
+            worst = max(worst, completion)
+            baseline = max(baseline, clean_completion)
+        assert worst > baseline  # backoff showed up in simulated time
+
+    def test_media_error_after_retry_budget(self):
+        # With the retry budget at zero, the first injected fault is
+        # terminal; seed 5's first random draw is below the rate.
+        faults = FaultConfig(
+            enabled=True, seed=5, read_error_rate=0.9, max_read_retries=0
+        )
+        device = FaultyNVMDevice(faults=faults)
+        device.write(4096, b"q" * 64, 0.0)
+        port = MemoryPort(device)
+        with pytest.raises(MediaError):
+            for _ in range(10):
+                port.read(4096, 64, 0.0)
+        assert port.stats.reads_failed == 1
+
+
+class TestStuckBlocks:
+    def test_write_to_stuck_block_is_remapped(self):
+        faults = FaultConfig(
+            enabled=True, stuck_blocks=(0,), fault_block_bytes=2**20
+        )
+        device = FaultyNVMDevice(faults=faults)
+        device.write(4096, b"r" * 64, 0.0)
+        stats = device.fault_stats
+        assert stats.remapped_blocks == 1
+        assert stats.stuck_block_writes == 1
+        # The data is readable through the remap, on both planes.
+        assert device.peek(4096, 64) == b"r" * 64
+        data, _ = device.read(4096, 64, 0.0)
+        assert data == b"r" * 64
+        assert stats.remapped_accesses > 0
+
+    def test_remap_copies_prior_content(self):
+        faults = FaultConfig(enabled=True, fault_block_bytes=2**20)
+        device = FaultyNVMDevice(faults=faults)
+        # Content lands on the healthy block, *then* the block goes bad
+        # (wear-out): the remap triggered by the next write must migrate
+        # the earlier bytes to the spare.
+        device.poke(0, b"old" + bytes(61))
+        device._stuck = {0}
+        device.write(4096, b"new" + bytes(61), 0.0)
+        assert device.peek(0, 3) == b"old"
+        assert device.peek(4096, 3) == b"new"
+        assert device.fault_stats.remap_copy_bytes > 0
+
+    def test_spare_exhaustion_is_a_media_error(self):
+        faults = FaultConfig(
+            enabled=True,
+            stuck_blocks=(0, 1),
+            spare_blocks=1,
+            fault_block_bytes=2**20,
+        )
+        device = FaultyNVMDevice(faults=faults)
+        device.write(4096, b"a" * 64, 0.0)  # consumes the only spare
+        with pytest.raises(MediaError):
+            device.write(2**20 + 4096, b"b" * 64, 0.0)
+
+    def test_remap_charges_latency_penalty(self):
+        faults = FaultConfig(
+            enabled=True, stuck_blocks=(0,), fault_block_bytes=2**20,
+            remap_penalty_ns=5000.0,
+        )
+        device = FaultyNVMDevice(faults=faults)
+        result = device.write(4096, b"x" * 64, 0.0, queued=False)
+        clean = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        baseline = clean.write(4096, b"x" * 64, 0.0, queued=False)
+        assert result.completion_ns >= baseline.completion_ns + 5000.0
+
+    def test_remap_survives_power_cycle(self):
+        faults = FaultConfig(
+            enabled=True, stuck_blocks=(0,), fault_block_bytes=2**20,
+            power_loss_after_write=1,
+        )
+        device = FaultyNVMDevice(faults=faults)
+        device.write(4096, b"s" * 64, 0.0)  # triggers the remap
+        with pytest.raises(PowerLossError):
+            device.write(8192, b"t" * 64, 0.0)
+        device.restore_power()
+        # The firmware remap table is persistent: the address still
+        # translates, the content is still there.
+        assert device.peek(4096, 64) == b"s" * 64
+        device.write(4096, b"u" * 64, 0.0)
+        assert device.peek(4096, 64) == b"u" * 64
+
+
+class TestFaultReport:
+    def test_counters_surface_in_figure(self):
+        from repro import MemorySystem
+        from repro.stats import fault_tolerance_figure
+
+        config = SystemConfig.small().replace(
+            faults=FaultConfig(enabled=True, seed=5, read_error_rate=0.2)
+        )
+        system = MemorySystem(config, scheme="hoop")
+        addr = system.allocate(64)
+        with system.transaction() as tx:
+            tx.store(addr, b"z" * 64)
+        fig = fault_tolerance_figure(system)
+        counters = fig.by_key("Counter")
+        assert "power cuts" in counters
+        assert "read retries" in counters
+        assert fig.render()
+
+    def test_plain_device_reports_port_rows_only(self):
+        from repro import MemorySystem
+        from repro.stats import fault_tolerance_figure
+
+        system = MemorySystem(SystemConfig.small(), scheme="hoop")
+        fig = fault_tolerance_figure(system)
+        counters = fig.by_key("Counter")
+        assert "power cuts" not in counters
+        assert "read retries" in counters
+        assert fig.notes
+
+
+class TestEndToEnd:
+    def test_system_survives_power_loss_and_recovers(self):
+        from repro import MemorySystem
+
+        config = SystemConfig.small().replace(
+            faults=FaultConfig(enabled=True, seed=2, power_loss_after_write=40)
+        )
+        system = MemorySystem(config, scheme="hoop")
+        addr = system.allocate(64)
+        committed = attempted = None
+        with pytest.raises(PowerLossError):
+            for i in range(500):
+                attempted = i.to_bytes(8, "little")
+                with system.transaction() as tx:
+                    tx.store(addr, attempted)
+                committed = attempted
+        system.crash()
+        system.recover(threads=2)
+        # Atomic durability: the last committed value, or the in-flight
+        # one if its commit had passed the durability point.
+        assert system.durable_state(addr, 8) in (committed, attempted)

@@ -53,6 +53,7 @@ class TestTable1:
             "osp",
             "lsm",
             "lad",
+            "logregion",
         }
 
     def test_hoop_row_matches_paper(self):
