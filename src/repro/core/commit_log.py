@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Tuple
 
 from repro.core.oop_region import OOPRegion
 from repro.core.slices import AddressSlice, AddressSliceEntry, SliceCodec
+from repro.telemetry.hub import NULL_TELEMETRY
 
 
 @dataclass
@@ -58,6 +59,8 @@ class CommitLog:
         self.commits = 0
         self.segments = 0
         self.retired = 0
+        self.telemetry = NULL_TELEMETRY
+        self.track = "ctrl0"
 
     # -- commit path --------------------------------------------------------
 
@@ -85,6 +88,13 @@ class CommitLog:
         self.segments += 1
         if committed:
             self.commits += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                now_ns,
+                "commit_log_append",
+                self.track,
+                {"tx": tx_id, "committed": committed},
+            )
         if not committed:
             return self._flush_page(page, now_ns, sync=True)
         if len(page.content.entries) >= self.codec.entries_per_addr_slice:

@@ -48,6 +48,7 @@ from repro.core.slices import SliceCodec
 from repro.memctrl.port import MemoryPort
 from repro.nvm.device import NVMDevice
 from repro.schemes.base import PersistenceScheme, SchemeTraits
+from repro.telemetry.hub import NULL_TELEMETRY
 
 # On-chip SRAM probe latency inside the memory controller (mapping table,
 # eviction buffer, OOP data buffer) and the slice-unpack cost the paper
@@ -126,6 +127,28 @@ class HoopController:
         )
         self.stats = HoopStats()
         self._store_seq = 0
+        self.telemetry = NULL_TELEMETRY
+        self._track = "ctrl0"
+
+    def attach_telemetry(self, telemetry, *, index: int = 0) -> None:
+        """Install an event hub across the controller's component tree.
+
+        ``index`` names this controller's tracks (``ctrl<i>``, ``gc<i>``,
+        ``evict<i>``) so the multi-controller scheme's timelines stay
+        separable in the exported trace.
+        """
+        self.telemetry = telemetry
+        self._track = f"ctrl{index}"
+        self.port.telemetry = telemetry
+        self.port.track = self._track
+        self.gc.telemetry = telemetry
+        self.gc.track = f"gc{index}"
+        self.commit_log.telemetry = telemetry
+        self.commit_log.track = self._track
+        self.eviction_buffer.telemetry = telemetry
+        self.eviction_buffer.track = f"evict{index}"
+        self.buffer.telemetry = telemetry
+        self.buffer.track = self._track
 
     def _record_slice(self, tx_id: int, slice_index: int) -> None:
         block, _ = self.region.slice_location(slice_index)
@@ -151,6 +174,16 @@ class HoopController:
     ) -> float:
         """Mirror every touched word into the OOP data buffer."""
         if self.gc.pressure():
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    now_ns,
+                    "ondemand_gc",
+                    self._track,
+                    {
+                        "mapping_entries": self.mapping.entries,
+                        "busy_blocks": self.region.busy_blocks,
+                    },
+                )
             report = self.gc.run(now_ns, on_demand=True)
             self.stats.on_demand_gc += 1
             now_ns = max(now_ns, report.completion_ns)
@@ -350,6 +383,10 @@ class HoopScheme(PersistenceScheme):
         self.controller = HoopController(config, device)
         # Share one port so traffic rolls up in one place.
         self.port = self.controller.port
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self.controller.attach_telemetry(telemetry, index=0)
 
     def tx_begin(self, core: int, now_ns: float) -> Tuple[int, float]:
         tx_id, now_ns = super().tx_begin(core, now_ns)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.addr import CACHE_LINE_BYTES, cache_line_base
+from repro.telemetry.hub import NULL_TELEMETRY
 
 
 @dataclass
@@ -36,9 +37,15 @@ class EvictionBuffer:
         self.capacity_lines = capacity_lines
         self._lines: "OrderedDict[int, bytes]" = OrderedDict()
         self.stats = EvictionBufferStats()
+        self.telemetry = NULL_TELEMETRY
+        self.track = "evict0"
 
-    def insert(self, line_addr: int, data: bytes) -> None:
-        """Park a migrated line; oldest entry falls out when full."""
+    def insert(self, line_addr: int, data: bytes, now_ns: float = 0.0) -> None:
+        """Park a migrated line; oldest entry falls out when full.
+
+        ``now_ns`` is purely observational (the telemetry timestamp);
+        the buffer itself has no clock.
+        """
         if len(data) != CACHE_LINE_BYTES:
             raise ValueError("eviction buffer holds whole cache lines")
         line = cache_line_base(line_addr)
@@ -46,9 +53,15 @@ class EvictionBuffer:
             self._lines.move_to_end(line)
         self._lines[line] = data
         self.stats.inserts += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                now_ns, "oop_evict", self.track, {"line": line}
+            )
         while len(self._lines) > self.capacity_lines:
             self._lines.popitem(last=False)
             self.stats.fifo_drops += 1
+            if self.telemetry.enabled:
+                self.telemetry.count("evict.fifo_drops")
 
     def lookup(self, line_addr: int) -> Optional[bytes]:
         """Probe for a migrated line (the step-2 check in Fig. 6's load)."""

@@ -39,6 +39,7 @@ from repro.core.oop_region import BlockState, OOPRegion
 from repro.core.slices import SliceCodec
 from repro.memctrl.port import MemoryPort
 from repro.memctrl.scheduler import PeriodicTrigger
+from repro.telemetry.hub import NULL_TELEMETRY
 
 # Reserved system slot (below the persistent heap's base) holding the
 # highest retired TxID.  GC retires transactions in commit order, so the
@@ -128,6 +129,8 @@ class GarbageCollector:
         self.trigger = PeriodicTrigger(config.hoop.gc.period_ns)
         self.stats = GCStats()
         self._watermark = 0
+        self.telemetry = NULL_TELEMETRY
+        self.track = "gc"
         # Pressure thresholds in absolute units so the per-store pressure
         # probe is two integer-ish comparisons, not two divisions over
         # freshly-recomputed occupancy fractions.
@@ -145,7 +148,13 @@ class GarbageCollector:
         """Run a background pass if the period elapsed."""
         if not self.trigger.due(now_ns):
             return None
-        self.trigger.fire(now_ns)
+        missed = self.trigger.fire(now_ns)
+        if self.telemetry.enabled:
+            # fire_count vs missed-period skew: a high missed count means
+            # the poll cadence (transaction boundaries) outran the period.
+            self.telemetry.count("gc.periodic_fires")
+            if missed > 1:
+                self.telemetry.count("gc.missed_periods", missed - 1)
         return self.run(now_ns, on_demand=False)
 
     def pressure(self) -> bool:
@@ -177,6 +186,14 @@ class GarbageCollector:
             self.stats.absorb(report)
             self.stats.reports.append(report)
             return report
+        telemetry = self.telemetry if self.telemetry.enabled else None
+        if telemetry is not None:
+            telemetry.emit(
+                now_ns,
+                "gc_start",
+                self.track,
+                {"on_demand": on_demand, "candidates": len(candidates)},
+            )
         for block in candidates:
             self.region.begin_gc(block, now_ns)
 
@@ -241,10 +258,14 @@ class GarbageCollector:
                     and entry.word_slot == src_slot
                 ):
                     self.mapping.remove_if_stale(addr, entry.seq)
+                    if telemetry is not None:
+                        telemetry.emit(
+                            now_ns, "mapping_evict", self.track, {"addr": addr}
+                        )
             # The line's word writes all queue at the same instant; batch
             # their channel math (the retire step drains the queue later).
             self.port.async_write_words(word_writes, now_ns)
-            self.eviction_buffer.insert(line_addr, bytes(staged))
+            self.eviction_buffer.insert(line_addr, bytes(staged), now_ns)
         report.words_migrated = len(coalesced) + uncoalesced_writes
 
         # Durably retire, then reclaim blocks with no live references.
@@ -277,6 +298,21 @@ class GarbageCollector:
         latest = max(latest, self._reclaim_addr_blocks(now_ns))
 
         report.completion_ns = latest
+        if telemetry is not None:
+            # The end event is stamped at the pass's async completion
+            # horizon (see the hub's ordering contract).
+            telemetry.emit(
+                report.completion_ns,
+                "gc_end",
+                self.track,
+                {
+                    "scanned": report.words_scanned,
+                    "migrated": report.words_migrated,
+                    "reclaimed": report.blocks_collected,
+                    "txs": report.transactions_migrated,
+                },
+            )
+            telemetry.record("gc_pause_ns", report.completion_ns - now_ns)
         self.stats.absorb(report)
         self.stats.reports.append(report)
         return report

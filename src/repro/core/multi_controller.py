@@ -86,6 +86,11 @@ class MultiControllerHoopScheme(PersistenceScheme):
         self._participants = {}
         self.two_phase_commits = 0
 
+    def attach_telemetry(self, telemetry) -> None:
+        super().attach_telemetry(telemetry)
+        for i, controller in enumerate(self.controllers):
+            controller.attach_telemetry(telemetry, index=i)
+
     # -- partitioning -----------------------------------------------------------
 
     def _owner(self, addr: int) -> int:

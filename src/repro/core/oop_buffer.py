@@ -36,6 +36,7 @@ from repro.core.slices import (
     DataSlice,
     SliceCodec,
 )
+from repro.telemetry.hub import NULL_TELEMETRY
 
 
 # A pending word is a plain ``(value, seq)`` tuple: these are created on
@@ -86,6 +87,8 @@ class OOPDataBuffer:
         self._words_per_slice = codec.words_per_slice
         self.stats = BufferStats()
         self._total_slices = region.num_blocks * region.slots_per_block
+        self.telemetry = NULL_TELEMETRY
+        self.track = "ctrl0"
 
     # -- transaction lifecycle ------------------------------------------------
 
@@ -114,6 +117,10 @@ class OOPDataBuffer:
                 )
             self.stats.words_buffered += 1
         pending[word_addr] = (value, seq)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                now_ns, "mapping_insert", self.track, {"addr": word_addr}
+            )
         self.mapping.record(
             word_addr,
             OOPLocation(

@@ -36,6 +36,7 @@ from repro.common.errors import (
     TransientReadError,
 )
 from repro.nvm.device import AccessResult, NVMDevice
+from repro.telemetry.hub import NULL_TELEMETRY
 
 _WORD = 8
 
@@ -191,6 +192,10 @@ class FaultyNVMDevice(NVMDevice):
         self._stuck = set(self.faults.stuck_blocks)
         self._remap: Dict[int, int] = {}  # fault block -> spare index
         self._spares_used = 0
+        # Fault instants land on the shared "faults" track when a hub is
+        # attached (MemorySystem wires it).  Poke-plane power cuts are
+        # not emitted: pokes carry no simulated timestamp.
+        self.telemetry = NULL_TELEMETRY
 
     # -- address translation ------------------------------------------------------
 
@@ -264,7 +269,9 @@ class FaultyNVMDevice(NVMDevice):
                 stats.remap_copy_bytes += len(data)
                 self.energy.record_write(len(data), False)
 
-    def _prepare_write_target(self, addr: int, size: int) -> None:
+    def _prepare_write_target(
+        self, addr: int, size: int, now_ns: float = 0.0
+    ) -> None:
         """Trigger remap for any stuck, not-yet-remapped target block."""
         if not self._stuck:
             return
@@ -274,6 +281,10 @@ class FaultyNVMDevice(NVMDevice):
             if block in self._stuck and block not in self._remap:
                 self.injector.stats.stuck_block_writes += 1
                 self._remap_block(block)
+                if self.telemetry.enabled:
+                    self.telemetry.emit(
+                        now_ns, "block_remap", "faults", {"block": block}
+                    )
 
     # -- functional plane ---------------------------------------------------------
 
@@ -323,6 +334,13 @@ class FaultyNVMDevice(NVMDevice):
             result = AccessResult(now_ns, completion, hit)
         if self.injector.read_faults():
             self.injector.stats.transient_read_faults += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    result.completion_ns,
+                    "read_fault",
+                    "faults",
+                    {"addr": addr},
+                )
             raise TransientReadError(addr, result.completion_ns)
         return data, result
 
@@ -342,13 +360,20 @@ class FaultyNVMDevice(NVMDevice):
         if verdict == _WRITE_DEAD:
             raise PowerLossError("write after power loss")
         remapped_before = len(self._remap)
-        self._prepare_write_target(addr, size)
+        self._prepare_write_target(addr, size, now_ns)
         penalty = (
             (len(self._remap) - remapped_before)
             * self.faults.remap_penalty_ns
         )
         segments = self._translate(addr, size)
         if verdict == _WRITE_FATAL:
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    now_ns,
+                    "power_cut",
+                    "faults",
+                    {"addr": addr, "torn": self.injector._torn},
+                )
             self._apply_torn(segments, data)
             raise PowerLossError(
                 f"power lost during write at {addr:#x}"

@@ -83,6 +83,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="print a cProfile top-20 (cumulative) per figure",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="run the telemetry matrix and write per-cell latency"
+        " summaries (JSON) into DIR",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="also run the fault-tolerance report (faulty device)",
+    )
     args = parser.parse_args(argv)
 
     if args.no_cache:
@@ -131,6 +142,28 @@ def main(argv=None) -> int:
             print(f"--- cProfile {name} (top 20 cumulative) ---")
             print(buf.getvalue())
         (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    if args.faults:
+        start = time.perf_counter()
+        figure = experiments.run_fault_reports(args.scale)
+        text = figure.render()
+        print(text)
+        elapsed = time.perf_counter() - start
+        figure_seconds["faults"] = round(elapsed, 4)
+        print(f"[faults took {elapsed:.1f}s]\n")
+        (out_dir / "faults.txt").write_text(text + "\n")
+
+    if args.telemetry:
+        start = time.perf_counter()
+        figure = experiments.run_telemetry_matrix(
+            args.scale, out_dir=args.telemetry
+        )
+        text = figure.render()
+        print(text)
+        elapsed = time.perf_counter() - start
+        figure_seconds["telemetry"] = round(elapsed, 4)
+        print(f"[telemetry took {elapsed:.1f}s]\n")
+        (out_dir / "telemetry.txt").write_text(text + "\n")
 
     payload = {
         "schema": bench.SCHEMA_VERSION,

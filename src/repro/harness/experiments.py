@@ -27,11 +27,21 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.common.config import GCConfig, HoopConfig, NVMConfig, SystemConfig
+import json
+from pathlib import Path
+
+from repro.common.config import (
+    FaultConfig,
+    GCConfig,
+    HoopConfig,
+    NVMConfig,
+    SystemConfig,
+)
 from repro.common.units import KB, MB, MS, US
 from repro.harness import diskcache
 from repro.schemes import ALL_SCHEME_NAMES, scheme_class
-from repro.stats.report import FigureData
+from repro.stats.report import FigureData, fault_tolerance_figure
+from repro.telemetry import Telemetry
 from repro.txn.system import MemorySystem
 from repro.workloads.driver import RunResult, WorkloadDriver, make_workload
 
@@ -880,5 +890,117 @@ def run_read_profile(scale: str = "default", seed: int = 7) -> FigureData:
     fig.add_note(
         "Paper: 12.1% average LLC miss ratio, 1.28 NVM loads per miss,"
         " 3.4% of misses issue parallel home+OOP reads."
+    )
+    return fig
+
+
+# -- telemetry: per-cell latency percentiles -----------------------------------------
+
+
+def run_telemetry_matrix(
+    scale: str = "default",
+    seed: int = 7,
+    out_dir: Optional[str] = None,
+) -> FigureData:
+    """Commit-latency percentiles for every (scheme, workload) cell.
+
+    Each cell runs with a live :class:`~repro.telemetry.Telemetry` hub;
+    the cells are *not* cached (a telemetry-enabled run records extra
+    state and must never be conflated with the plain matrix cells).
+    With ``out_dir`` the full per-cell summary dict is also written to
+    ``telemetry_<scheme>_<workload>.json`` for offline comparison.
+    """
+    preset = get_scale(scale)
+    fig = FigureData(
+        "Telemetry matrix",
+        "commit-latency percentiles per cell (us, log2-bucket bounds)",
+        [
+            "Scheme",
+            "Workload",
+            "commits",
+            "p50",
+            "p95",
+            "p99",
+            "max",
+            "gc p99",
+        ],
+    )
+    out_path = Path(out_dir) if out_dir else None
+    if out_path is not None:
+        out_path.mkdir(parents=True, exist_ok=True)
+    for scheme in ("native",) + PERSISTENCE_SCHEMES:
+        for workload in MATRIX_WORKLOADS:
+            telemetry = Telemetry()
+            system = MemorySystem(
+                preset.system_config(), scheme=scheme, telemetry=telemetry
+            )
+            wl = make_workload(
+                workload, system, seed=seed, **preset.kwargs_for(workload)
+            )
+            driver = WorkloadDriver(
+                system, threads=preset.threads, seed=seed
+            )
+            driver.run(wl, preset.transactions, warmup=preset.warmup)
+            summary = telemetry.summary()
+            commit = summary["histograms"].get("commit_latency_ns", {})
+            gc = summary["histograms"].get("gc_pause_ns", {})
+            fig.add_row(
+                scheme,
+                workload,
+                commit.get("count", 0),
+                commit.get("p50", 0) / 1e3,
+                commit.get("p95", 0) / 1e3,
+                commit.get("p99", 0) / 1e3,
+                commit.get("max", 0) / 1e3,
+                gc.get("p99", 0) / 1e3,
+            )
+            if out_path is not None:
+                cell_file = out_path / f"telemetry_{scheme}_{workload}.json"
+                cell_file.write_text(
+                    json.dumps(summary, indent=2, sort_keys=True)
+                )
+    fig.add_note(
+        "Percentiles are log2-bucket upper bounds over the measured"
+        " window (warm-up excluded); gc p99 covers real GC passes only."
+    )
+    if out_path is not None:
+        fig.add_note(f"per-cell summaries written to {out_path}")
+    return fig
+
+
+# -- fault-tolerance report ----------------------------------------------------------
+
+
+def run_fault_reports(scale: str = "default", seed: int = 7) -> FigureData:
+    """Fault-tolerance counters per scheme under transient read faults.
+
+    Runs the hashmap workload on a fault-injecting device (no power
+    cuts: every scheme must finish the run, so only recoverable faults
+    are enabled) and flattens each scheme's
+    :func:`~repro.stats.report.fault_tolerance_figure` into one table.
+    """
+    preset = get_scale(scale)
+    fig = FigureData(
+        "Fault report",
+        "fault-tolerance counters per scheme (hashmap, transient reads)",
+        ["Scheme", "Counter", "Value"],
+    )
+    for scheme in ("hoop", "opt-redo", "opt-undo"):
+        config = preset.system_config().replace(
+            faults=FaultConfig(
+                enabled=True, read_error_rate=5e-4, seed=seed
+            )
+        )
+        system = MemorySystem(config, scheme=scheme)
+        wl = make_workload(
+            "hashmap", system, seed=seed, **preset.kwargs_for("hashmap")
+        )
+        driver = WorkloadDriver(system, threads=preset.threads, seed=seed)
+        driver.run(wl, preset.transactions, warmup=preset.warmup)
+        for counter, value in fault_tolerance_figure(system).rows:
+            fig.add_row(scheme, counter, value)
+    fig.add_note(
+        "Transient read faults retry with backoff at the memory port;"
+        " counters come from the device injector and the port stats."
     )
     return fig

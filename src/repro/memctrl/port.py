@@ -31,6 +31,7 @@ from typing import Sequence, Tuple
 
 from repro.common.errors import MediaError, TransientReadError
 from repro.nvm.device import NVMDevice
+from repro.telemetry.hub import NULL_TELEMETRY, STALL_EVENT_NS
 
 
 @dataclass
@@ -56,6 +57,10 @@ class MemoryPort:
     def __init__(self, device: NVMDevice) -> None:
         self.device = device
         self.stats = PortStats()
+        # Telemetry is observational only: the shared no-op by default,
+        # replaced (plus a track name) by whoever owns this port.
+        self.telemetry = NULL_TELEMETRY
+        self.track = "port"
 
     # -- writes -------------------------------------------------------------
 
@@ -65,6 +70,17 @@ class MemoryPort:
         self.stats.sync_writes += 1
         self.stats.sync_bytes += len(data)
         self.stats.sync_wait_ns += result.latency_ns
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.record("sync_stall_ns", result.latency_ns)
+            telemetry.add_write_traffic(now_ns, len(data))
+            if result.latency_ns >= STALL_EVENT_NS:
+                telemetry.emit(
+                    now_ns,
+                    "port_stall",
+                    self.track,
+                    {"addr": addr, "wait_ns": result.latency_ns},
+                )
         return result.completion_ns
 
     def async_write(self, addr: int, data: bytes, now_ns: float) -> float:
@@ -79,6 +95,8 @@ class MemoryPort:
         result = self.device.write(addr, data, now_ns, queued=True)
         self.stats.async_writes += 1
         self.stats.async_bytes += len(data)
+        if self.telemetry.enabled:
+            self.telemetry.add_write_traffic(now_ns, len(data))
         return result.completion_ns
 
     def async_write_words(
@@ -95,7 +113,10 @@ class MemoryPort:
             return
         self.device.write_batch(writes, now_ns)
         self.stats.async_writes += len(writes)
-        self.stats.async_bytes += sum(len(data) for _, data in writes)
+        nbytes = sum(len(data) for _, data in writes)
+        self.stats.async_bytes += nbytes
+        if self.telemetry.enabled:
+            self.telemetry.add_write_traffic(now_ns, nbytes)
 
     def read(self, addr: int, size: int, now_ns: float) -> Tuple[bytes, float]:
         """Timed read; returns ``(data, completion_ns)``.
@@ -116,6 +137,8 @@ class MemoryPort:
             )
         self.stats.reads += 1
         self.stats.read_bytes += size
+        if self.telemetry.enabled:
+            self.telemetry.record("nvm_read_ns", completion - now_ns)
         return data, completion
 
     def _read_with_retry(
@@ -128,6 +151,8 @@ class MemoryPort:
             backoff = faults.retry_backoff_ns * (2 ** (attempt - 1))
             stats.read_retries += 1
             stats.retry_wait_ns += backoff
+            if self.telemetry.enabled:
+                self.telemetry.count("port.read_retries")
             try:
                 data, result = self.device.read(
                     addr, size, completion + backoff

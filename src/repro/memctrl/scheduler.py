@@ -18,6 +18,10 @@ class PeriodicTrigger:
         self.period_ns = period_ns
         self._next_fire_ns = start_ns + period_ns
         self.fire_count = 0
+        # Periods that elapsed unserviced before a poll caught up: when
+        # one fire() consumes N periods, N-1 of them were skipped (the
+        # caller runs its periodic work once regardless).
+        self.missed_periods = 0
 
     def due(self, now_ns: float) -> bool:
         """True when at least one period has elapsed since the last fire."""
@@ -35,6 +39,7 @@ class PeriodicTrigger:
         missed = int((now_ns - self._next_fire_ns) // self.period_ns) + 1
         self._next_fire_ns += missed * self.period_ns
         self.fire_count += missed
+        self.missed_periods += missed - 1
         return missed
 
     def reschedule(self, period_ns: float, now_ns: float) -> None:

@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 from repro.common.config import SystemConfig
 from repro.memctrl.port import MemoryPort
 from repro.nvm.device import NVMDevice
+from repro.telemetry.hub import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,20 @@ class PersistenceScheme(abc.ABC):
         self.port = MemoryPort(device)
         self.stats = SchemeStats()
         self._next_tx_id = 1
+        self.telemetry = NULL_TELEMETRY
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Install an event hub on this scheme and its memory port.
+
+        Subclasses with more machinery (HOOP's controller tree) override
+        to propagate the hub further; all overrides must stay purely
+        observational so an attached-but-silent hub perturbs nothing.
+        """
+        self.telemetry = telemetry
+        self.port.telemetry = telemetry
+        self.port.track = "port"
 
     # -- transactional API -------------------------------------------------------
 
@@ -84,6 +99,10 @@ class PersistenceScheme(abc.ABC):
         tx_id = self._next_tx_id
         self._next_tx_id += 1
         self.stats.transactions += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                now_ns, "txn_begin", f"core{core}", {"tx": tx_id}
+            )
         return tx_id, now_ns
 
     @abc.abstractmethod

@@ -113,3 +113,63 @@ def fault_tolerance_figure(system) -> FigureData:
     fig.add_row("retry wait (ns)", port.retry_wait_ns)
     fig.add_row("reads failed", port.reads_failed)
     return fig
+
+
+def telemetry_figure(summary: Dict) -> FigureData:
+    """Render a :meth:`Telemetry.summary` dict as a latency report.
+
+    One row per histogram (commit/load/store/GC-pause latencies and
+    anything else the run recorded); events, counters, and the per-epoch
+    series are compressed into notes.  Percentiles are log2-bucket upper
+    bounds — see :mod:`repro.telemetry.metrics`.
+    """
+    fig = FigureData(
+        "Telemetry",
+        "latency histograms (simulated ns; log2-bucket upper bounds)",
+        ["Histogram", "count", "mean", "p50", "p95", "p99", "max"],
+    )
+    for name in sorted(summary.get("histograms", {})):
+        h = summary["histograms"][name]
+        fig.add_row(
+            name,
+            h["count"],
+            h["mean"],
+            h["p50"],
+            h["p95"],
+            h["p99"],
+            h["max"],
+        )
+    events = summary.get("events", {})
+    if events:
+        by_kind = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(events.get("by_kind", {}).items())
+        )
+        fig.add_note(
+            f"events: total={events.get('total', 0)}"
+            f" dropped={events.get('dropped', 0)}"
+            + (f" ({by_kind})" if by_kind else "")
+        )
+    counters = summary.get("counters", {})
+    if counters:
+        fig.add_note(
+            "counters: "
+            + ", ".join(
+                f"{k}={v}" for k, v in sorted(counters.items())
+            )
+        )
+    series = summary.get("series", {})
+    commits = series.get("commits")
+    if commits:
+        fig.add_note(
+            f"commit series: {commits['epochs']} epochs of"
+            f" {commits['epoch_ns'] / 1e6:.3f} ms,"
+            f" {commits['total']:.0f} commits"
+        )
+    traffic = series.get("write_bytes")
+    if traffic:
+        fig.add_note(
+            f"write traffic: {traffic['total']:.0f} B over"
+            f" {traffic['epochs']} epochs"
+        )
+    return fig

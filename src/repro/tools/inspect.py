@@ -11,9 +11,10 @@ counterexample.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.common.errors import CorruptionError
+from repro.core import hoop_controllers
 from repro.core.controller import HoopController
 from repro.core.oop_region import BlockState
 from repro.core.slices import (
@@ -24,15 +25,6 @@ from repro.core.slices import (
 )
 from repro.stats.report import format_table
 from repro.txn.system import MemorySystem
-
-
-def _hoop_controllers(system: MemorySystem) -> List[HoopController]:
-    scheme = system.scheme
-    if hasattr(scheme, "controller"):
-        return [scheme.controller]
-    if hasattr(scheme, "controllers"):
-        return list(scheme.controllers)
-    return []
 
 
 def dump_region(controller: HoopController, *, max_blocks: int = 32) -> str:
@@ -151,7 +143,7 @@ def describe_system(system: MemorySystem) -> str:
         f"energy: {device.energy.total_pj / 1e6:.3f} uJ",
         f"LLC miss ratio: {system.hierarchy.stats.llc_miss_ratio:.3f}",
     ]
-    for i, controller in enumerate(_hoop_controllers(system)):
+    for i, controller in enumerate(hoop_controllers(system)):
         gc = controller.gc.stats
         sections.append(
             f"controller {i}: mapping={controller.mapping.entries} entries,"

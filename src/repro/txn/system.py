@@ -26,6 +26,7 @@ from repro.memhier.hierarchy import CacheHierarchy
 from repro.nvm.device import NVMDevice
 from repro.schemes import make_scheme
 from repro.schemes.base import PersistenceScheme
+from repro.telemetry.hub import NULL_TELEMETRY
 from repro.txn.allocator import PersistentHeap
 from repro.txn.transaction import Transaction
 
@@ -47,6 +48,8 @@ class MemorySystem:
         self,
         config: Optional[SystemConfig] = None,
         scheme: Union[str, PersistenceScheme] = "hoop",
+        *,
+        telemetry=None,
     ) -> None:
         self.config = config or SystemConfig.paper_default()
         if isinstance(scheme, str):
@@ -66,6 +69,16 @@ class MemorySystem:
         self.heap = PersistentHeap(
             base=4096, limit=self.config.home_region_bytes
         )
+        # Telemetry: the shared no-op unless an event hub was supplied.
+        # `_tel_on` is the one-boolean hot-path guard the inlined
+        # load/store paths below check.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel_on = self.telemetry.enabled
+        if self._tel_on:
+            self.scheme.attach_telemetry(self.telemetry)
+            faulty = getattr(self.device, "injector", None)
+            if faulty is not None:
+                self.device.telemetry = self.telemetry
         self.clocks = [0.0] * self.config.num_cores
         self.committed_transactions = 0
         # Critical-path latency accumulator (Fig. 7b): sum/count/max of
@@ -112,6 +125,8 @@ class MemorySystem:
         happens during the outage on backup energy, but applying it at
         reboot is content-identical and keeps the injector simple.
         """
+        if self._tel_on:
+            self.telemetry.emit(self.now_ns, "crash", "sim")
         self.hierarchy.crash()
         self.device.restore_power()
         self.scheme.crash()
@@ -155,6 +170,7 @@ class MemorySystem:
         self.latency_sum_ns = 0.0
         self.latency_count = 0
         self.latency_max_ns = 0.0
+        self.telemetry.reset_metrics()
 
     # -- transaction protocol (called by Transaction) --------------------------------
 
@@ -177,6 +193,8 @@ class MemorySystem:
         self.latency_count += 1
         if latency > self.latency_max_ns:
             self.latency_max_ns = latency
+        if self._tel_on:
+            self.telemetry.on_commit(core, tx.tx_id, tx.begin_ns, now)
         self.scheme.tick(now)
 
     def _store(self, tx: Transaction, addr: int, data: bytes) -> None:
@@ -218,6 +236,7 @@ class MemorySystem:
             flags.dirty = True
             flags.persistent = True
             flags.tx_id = tx.tx_id
+            start_ns = now
             now = self.scheme.on_store(
                 core,
                 tx.tx_id,
@@ -230,7 +249,10 @@ class MemorySystem:
                 now + (latency + _OP_OVERHEAD_NS),
             )
             self.clocks[core] = now
+            if self._tel_on:
+                self.telemetry.record("store_latency_ns", now - start_ns)
             return
+        start_ns = now
         for line_addr, piece_addr, piece_size in split_by_cache_line(
             addr, len(data)
         ):
@@ -251,6 +273,8 @@ class MemorySystem:
                 core, tx.tx_id, piece_addr, piece_size, line_addr, line_data, now
             )
         self.clocks[core] = now
+        if self._tel_on:
+            self.telemetry.record("store_latency_ns", now - start_ns)
 
     def _load_u64(self, core: int, addr: int) -> int:
         # The pointer-chase primitive of every tree/list workload.
@@ -280,6 +304,8 @@ class MemorySystem:
             latency = h._miss_resident(core, line_addr, now).latency_ns
         self.clocks[core] = now + (latency + _OP_OVERHEAD_NS)
         self.scheme.stats.tx_loads += 1
+        if self._tel_on:
+            self.telemetry.record("load_latency_ns", latency + _OP_OVERHEAD_NS)
         offset = addr - line_addr
         data = h._data[line_addr]
         return int.from_bytes(data[offset : offset + 8], "little")
@@ -291,12 +317,19 @@ class MemorySystem:
             data, outcome = self.hierarchy.load(core, addr, size, now)
             self.clocks[core] = now + (outcome.latency_ns + _OP_OVERHEAD_NS)
             self.scheme.stats.tx_loads += 1
+            if self._tel_on:
+                self.telemetry.record(
+                    "load_latency_ns", outcome.latency_ns + _OP_OVERHEAD_NS
+                )
             return data
         chunks = []
+        start_ns = now
         for _, piece_addr, piece_size in split_by_cache_line(addr, size):
             data, outcome = self.hierarchy.load(core, piece_addr, piece_size, now)
             now += outcome.latency_ns + _OP_OVERHEAD_NS
             chunks.append(data)
         self.clocks[core] = now
         self.scheme.stats.tx_loads += 1
+        if self._tel_on:
+            self.telemetry.record("load_latency_ns", now - start_ns)
         return b"".join(chunks)

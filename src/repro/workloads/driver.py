@@ -292,6 +292,10 @@ class RunResult:
     energy_pj: float
     llc_miss_ratio: float
     extras: Dict[str, float] = field(default_factory=dict)
+    # Populated only when the system runs with a live Telemetry hub: the
+    # hub's summary() dict (histograms, counters, series).  Stays None on
+    # plain runs so cached results from older code round-trip unchanged.
+    telemetry: Optional[Dict] = None
 
     @property
     def throughput_tx_per_ms(self) -> float:
@@ -366,6 +370,9 @@ class WorkloadDriver:
         end_ns = max(system.clocks[:self.threads])
         executed = system.committed_transactions - start_tx
         device = system.device
+        telemetry = (
+            system.telemetry.summary() if system.telemetry.enabled else None
+        )
         return RunResult(
             scheme=system.scheme.name,
             workload=getattr(workload, "name", type(workload).__name__),
@@ -378,4 +385,5 @@ class WorkloadDriver:
             bytes_read=device.stats.bytes_read,
             energy_pj=device.energy.total_pj,
             llc_miss_ratio=system.hierarchy.stats.llc_miss_ratio,
+            telemetry=telemetry,
         )

@@ -67,6 +67,18 @@ class TestPeriodicTrigger:
         assert trigger.fire(550.0) == 5
         assert trigger.next_fire_ns == 600.0
         assert trigger.fire_count == 5
+        # One servicing consumed five due periods: four were skipped.
+        assert trigger.missed_periods == 4
+
+    def test_missed_periods_accumulate_across_fires(self):
+        trigger = PeriodicTrigger(100.0)
+        assert trigger.fire(100.0) == 1
+        assert trigger.missed_periods == 0
+        assert trigger.fire(450.0) == 3
+        assert trigger.missed_periods == 2
+        assert trigger.fire(460.0) == 0
+        assert trigger.missed_periods == 2
+        assert trigger.fire_count == 4
 
     def test_reschedule(self):
         trigger = PeriodicTrigger(100.0)
@@ -74,10 +86,39 @@ class TestPeriodicTrigger:
         assert not trigger.due(505.0)
         assert trigger.due(510.0)
 
+    def test_reschedule_mid_period_restarts_cadence(self):
+        # Half a period has elapsed; rescheduling must restart the full
+        # new period from *now*, not inherit the old deadline.
+        trigger = PeriodicTrigger(100.0)
+        assert trigger.fire(50.0) == 0
+        trigger.reschedule(200.0, 50.0)
+        assert not trigger.due(100.0)  # old deadline no longer applies
+        assert not trigger.due(249.0)
+        assert trigger.due(250.0)
+        assert trigger.fire(250.0) == 1
+        assert trigger.fire_count == 1
+        assert trigger.missed_periods == 0
+
+    def test_reschedule_to_shorter_period_can_fire_earlier(self):
+        trigger = PeriodicTrigger(1000.0)
+        trigger.reschedule(10.0, 0.0)
+        assert trigger.fire(10.0) == 1
+        assert trigger.next_fire_ns == 20.0
+
     def test_start_offset(self):
         trigger = PeriodicTrigger(100.0, start_ns=1000.0)
         assert not trigger.due(1099.0)
         assert trigger.due(1100.0)
+
+    def test_start_offset_fire_counts_from_offset(self):
+        trigger = PeriodicTrigger(100.0, start_ns=1000.0)
+        # Simulated time well past zero but before the first deadline:
+        # nothing is due, nothing is "missed".
+        assert trigger.fire(1050.0) == 0
+        assert trigger.missed_periods == 0
+        assert trigger.fire(1350.0) == 3
+        assert trigger.next_fire_ns == 1400.0
+        assert trigger.missed_periods == 2
 
     def test_bad_period_rejected(self):
         with pytest.raises(ValueError):

@@ -64,6 +64,50 @@ def test_incremental_fill_accounting_survives_store_gc_crash(seed):
         assert region.fill_fraction == _recount_busy(region) / region.num_blocks
 
 
+def test_telemetry_observation_leaves_state_untouched():
+    """A live Telemetry hub must not perturb any simulated outcome.
+
+    Same seed, same config, one run observed and one plain: every piece
+    of externally visible state — simulated clock, committed count,
+    device traffic, region occupancy — must match exactly.
+    """
+    from repro.telemetry import Telemetry
+
+    def run(telemetry):
+        rng = random.Random(42)
+        system = MemorySystem(
+            SystemConfig.small(), scheme="hoop", telemetry=telemetry
+        )
+        addrs = [system.allocate(8) for _ in range(64)]
+        for _ in range(120):
+            roll = rng.random()
+            if roll < 0.85:
+                _store_some(system, rng, addrs)
+            elif roll < 0.95:
+                system.scheme.controller.gc.run(
+                    system.now_ns, on_demand=True
+                )
+            else:
+                system.crash()
+                system.recover()
+        region = system.scheme.controller.region
+        region.verify_accounting()
+        return (
+            system.now_ns,
+            tuple(system.clocks),
+            system.committed_transactions,
+            system.device.stats.bytes_written,
+            system.device.stats.bytes_read,
+            system.device.energy.total_pj,
+            region.busy_blocks,
+        )
+
+    telemetry = Telemetry()
+    assert run(None) == run(telemetry)
+    # ...and the observed run actually recorded something.
+    assert telemetry.hist("commit_latency_ns").count > 0
+
+
 def test_gc_pressure_matches_region_occupancy():
     """pressure() reads the same O(1) counters fill_fraction does."""
     rng = random.Random(77)
