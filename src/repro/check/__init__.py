@@ -1,0 +1,33 @@
+"""Dynamic correctness checking: persist-ordering sanitizer + oracle.
+
+Two complementary checkers live here (see ``docs/checker.md``):
+
+* :mod:`repro.check.sanitizer` — a trace-level happens-before-durable
+  sanitizer attached to a running system
+  (``MemorySystem(..., checker=PersistOrderSanitizer())``), validating
+  every committed transaction's durability-ordering edges against the
+  scheme's declared discipline;
+* :mod:`repro.check.oracle` — a cross-scheme differential oracle that
+  runs the same seeded trace through every scheme (plus ``native``) and
+  asserts logical-state and crash-recovery convergence, with a trace
+  fuzzer (:mod:`repro.check.fuzz`) that delta-debugs failures down to
+  minimal reproducers.
+
+``python -m repro.check`` drives both; the seeded fence-dropping mutant
+(:mod:`repro.check.mutant`) is the self-test proving the checkers fire.
+
+This package ``__init__`` re-exports only the import-light sanitizer:
+the memory port and scheme base import :data:`NULL_CHECKER` from here,
+so pulling in the oracle (which imports the schemes) would be a cycle.
+"""
+
+from repro.check.sanitizer import (  # noqa: F401
+    DISCIPLINES,
+    NULL_CHECKER,
+    CheckEvent,
+    DisciplineRules,
+    NullChecker,
+    PersistOrderSanitizer,
+    Violation,
+    rules_for,
+)

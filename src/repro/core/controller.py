@@ -23,6 +23,12 @@ is mirrored out-of-place *at store time*, so dirty persistent lines can be
 evicted by simply dropping them — the out-of-place copy plus the home
 region always reconstructs the newest value.  That is where HOOP's write
 traffic and latency wins come from.
+
+Declared durability discipline: ``controller-ordered`` — the hardware
+FIFO write queue orders the asynchronously streamed OOP slices ahead of
+the synchronous STATE_LAST slice (the commit point), so no explicit
+drain edge is required; the persist-ordering sanitizer
+(:mod:`repro.check`) checks coverage and the synchronous commit persist.
 """
 
 from __future__ import annotations
@@ -149,6 +155,11 @@ class HoopController:
         self.eviction_buffer.track = f"evict{index}"
         self.buffer.telemetry = telemetry
         self.buffer.track = self._track
+
+    def attach_checker(self, checker) -> None:
+        """Install a persist-ordering sanitizer on the controller tree."""
+        self.port.check = checker
+        self.buffer.check = checker
 
     def _record_slice(self, tx_id: int, slice_index: int) -> None:
         block, _ = self.region.slice_location(slice_index)
@@ -376,6 +387,7 @@ class HoopScheme(PersistenceScheme):
         extra_writes_on_critical_path=False,
         requires_flush_fence=False,
         write_traffic="Low",
+        durability="controller-ordered",
     )
 
     def __init__(self, config: SystemConfig, device: NVMDevice) -> None:
@@ -387,6 +399,11 @@ class HoopScheme(PersistenceScheme):
     def attach_telemetry(self, telemetry) -> None:
         self.telemetry = telemetry
         self.controller.attach_telemetry(telemetry, index=0)
+
+    def attach_checker(self, checker) -> None:
+        self.check = checker
+        self.controller.attach_checker(checker)
+        checker.bind_scheme(self.name, self.traits.durability)
 
     def tx_begin(self, core: int, now_ns: float) -> Tuple[int, float]:
         tx_id, now_ns = super().tx_begin(core, now_ns)

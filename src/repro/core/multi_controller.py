@@ -19,11 +19,23 @@ single-controller machinery:
   waits for the *slowest* participant;
 * **Commit**: a commit entry for the transaction is durably appended on
   *every* controller (the commit message), again in parallel;
-* **Recovery**: a transaction is replayed only when every controller
-  holds its commit entry — a torn two-phase commit (entries on some
-  controllers only) is discarded everywhere, preserving atomicity across
-  the interleave.  The single-controller STATE_LAST shortcut is disabled
-  because a locally-final slice proves nothing globally.
+* **Recovery**: standard 2PC presumed-abort reasoning.  The Commit
+  phase starts only after every prepare acknowledged, so a commit entry
+  durable on *any* controller proves the global commit decision; the
+  agreed set is the union of the controllers' durable commit entries.  A
+  torn two-phase commit that reached *no* controller is discarded
+  everywhere (the program never saw the commit), preserving atomicity
+  across the interleave.  A controller whose own commit-log page was
+  lost to a torn rewrite still replays an agreed transaction by finding
+  its STATE_LAST slice in the region scan — the scan locates segment
+  tails only; it never *decides* commitment, because a locally-final
+  slice proves nothing globally.
+
+Declared durability discipline: ``controller-ordered`` — same as
+single-controller HOOP (each controller's FIFO write queue orders the
+transaction's slice persists ahead of its synchronous commit entry), but
+the commit point the sanitizer sees is the end of the *global* Commit
+phase, not any participant's locally-final slice.
 
 The per-controller GC keeps running independently; it only ever migrates
 transactions whose commit entry is locally durable, which in this
@@ -58,6 +70,7 @@ class MultiControllerHoopScheme(PersistenceScheme):
         extra_writes_on_critical_path=False,
         requires_flush_fence=False,
         write_traffic="Low",
+        durability="controller-ordered",
     )
 
     def __init__(
@@ -90,6 +103,15 @@ class MultiControllerHoopScheme(PersistenceScheme):
         super().attach_telemetry(telemetry)
         for i, controller in enumerate(self.controllers):
             controller.attach_telemetry(telemetry, index=i)
+
+    def attach_checker(self, checker) -> None:
+        self.check = checker
+        for controller in self.controllers:
+            controller.attach_checker(checker)
+            # A locally-final STATE_LAST slice proves nothing globally:
+            # the commit note is emitted here, after the 2PC commit phase.
+            controller.buffer.check_commit_on_last = False
+        checker.bind_scheme(self.name, self.traits.durability)
 
     # -- partitioning -----------------------------------------------------------
 
@@ -166,6 +188,13 @@ class MultiControllerHoopScheme(PersistenceScheme):
             controller.refs.on_tx_commit(tx_id)
             commit_done = max(commit_done, done + _COMMIT_MESSAGE_NS)
         self.two_phase_commits += 1
+        if self.check.active:
+            # The global commit point: every controller sync-flushed its
+            # commit entry during the Commit phase above.
+            self.check.note_persist(
+                tx_id, "commit", -1, 0, commit_done, sync=True,
+                port=self.controllers[0].port,
+            )
         return commit_done
 
     # -- hierarchy delegation ----------------------------------------------------
@@ -210,7 +239,15 @@ class MultiControllerHoopScheme(PersistenceScheme):
         threads: int = 1,
         bandwidth_gb_per_s: Optional[float] = None,
     ) -> RecoveryReport:
-        """Consensus recovery: replay only globally-committed txns."""
+        """Consensus recovery: replay only globally-committed txns.
+
+        The agreed set is the *union* of the controllers' durable commit
+        entries: the Commit phase starts only after every prepare
+        acknowledged, so one durable entry anywhere proves the global
+        decision — and a torn rewrite of one controller's commit-log
+        page (which loses every entry on that page, old ones included)
+        cannot un-commit transactions another controller still records.
+        """
         # Phase 1: each controller reads its commit log from NVM.
         local_sets = []
         for controller in self.controllers:
@@ -223,7 +260,7 @@ class MultiControllerHoopScheme(PersistenceScheme):
                     for tx in controller.commit_log.committed_transactions()
                 }
             )
-        agreed = set.intersection(*local_sets) if local_sets else set()
+        agreed = set.union(*local_sets) if local_sets else set()
         # Phase 2: every controller replays exactly the agreed set.
         merged = RecoveryReport(
             threads=threads,
@@ -233,10 +270,13 @@ class MultiControllerHoopScheme(PersistenceScheme):
         )
         replayed = set()
         for controller in self.controllers:
+            # require_entries=False: the STATE_LAST scan supplies segment
+            # tails for agreed transactions whose local commit entries
+            # were lost; ``only_tx_ids`` keeps it from *deciding* commits.
             report = controller.recovery.recover(
                 threads=threads,
                 bandwidth_gb_per_s=bandwidth_gb_per_s,
-                require_entries=True,
+                require_entries=False,
                 only_tx_ids=agreed,
             )
             controller.mapping.clear()

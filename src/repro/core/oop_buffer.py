@@ -36,6 +36,7 @@ from repro.core.slices import (
     DataSlice,
     SliceCodec,
 )
+from repro.check.sanitizer import NULL_CHECKER
 from repro.telemetry.hub import NULL_TELEMETRY
 
 
@@ -89,6 +90,12 @@ class OOPDataBuffer:
         self._total_slices = region.num_blocks * region.slots_per_block
         self.telemetry = NULL_TELEMETRY
         self.track = "ctrl0"
+        self.check = NULL_CHECKER
+        # The sync STATE_LAST slice is HOOP's commit point — except under
+        # the multi-controller 2PC, where a locally-final slice proves
+        # nothing globally (the scheme emits its own commit note after
+        # the commit phase and clears this flag).
+        self.check_commit_on_last = True
 
     # -- transaction lifecycle ------------------------------------------------
 
@@ -226,6 +233,19 @@ class OOPDataBuffer:
         self.stats.slices_written += 1
         if sync:
             self.stats.sync_slices += 1
+        check = self.check
+        if check.active:
+            port = self.region.port
+            for addr, _pending in words:
+                check.note_persist(
+                    entry.tx_id, "oop", addr, 8, now_ns, sync=sync,
+                    port=port,
+                )
+            if last and self.check_commit_on_last:
+                check.note_persist(
+                    entry.tx_id, "commit", -1, 0, completion, sync=sync,
+                    port=port,
+                )
         return completion
 
     # -- crash lifecycle ------------------------------------------------------

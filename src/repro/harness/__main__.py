@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.harness [--scale smoke|default|paper] [--only FIG ...]
                             [--out DIR] [--jobs N] [--no-cache] [--profile]
+                            [--telemetry DIR] [--faults] [--check]
 
 Writes each figure's text rendering to ``<out>/<figure>.txt``, prints
 them to stdout, and records harness timing in ``<out>/BENCH_harness.json``.
@@ -94,6 +95,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="also run the fault-tolerance report (faulty device)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the correctness checkers (persist-ordering"
+        " sanitizer + differential oracle) on a smoke trace",
+    )
     args = parser.parse_args(argv)
 
     if args.no_cache:
@@ -165,6 +172,20 @@ def main(argv=None) -> int:
         print(f"[telemetry took {elapsed:.1f}s]\n")
         (out_dir / "telemetry.txt").write_text(text + "\n")
 
+    check_failed = False
+    if args.check:
+        from repro.check.oracle import run_check_matrix
+
+        start = time.perf_counter()
+        check_result = run_check_matrix(crash_sample=6)
+        text = check_result.render()
+        print(text)
+        elapsed = time.perf_counter() - start
+        figure_seconds["check"] = round(elapsed, 4)
+        print(f"[check took {elapsed:.1f}s]\n")
+        (out_dir / "check.txt").write_text(text + "\n")
+        check_failed = not check_result.ok
+
     payload = {
         "schema": bench.SCHEMA_VERSION,
         "scale": args.scale,
@@ -183,7 +204,7 @@ def main(argv=None) -> int:
         payload["cells_computed"] = matrix_report.computed
         payload["cells_from_cache"] = matrix_report.cache_hits
     bench.write_report(payload, out_dir / "BENCH_harness.json")
-    return 0
+    return 1 if check_failed else 0
 
 
 if __name__ == "__main__":

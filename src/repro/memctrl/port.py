@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+from repro.check.sanitizer import NULL_CHECKER
 from repro.common.errors import MediaError, TransientReadError
 from repro.nvm.device import NVMDevice
 from repro.telemetry.hub import NULL_TELEMETRY, STALL_EVENT_NS
@@ -61,6 +62,11 @@ class MemoryPort:
         # replaced (plus a track name) by whoever owns this port.
         self.telemetry = NULL_TELEMETRY
         self.track = "port"
+        # Persist-ordering sanitizer: the shared no-op unless an
+        # instrumented run installed one (see repro.check).  Drains are
+        # the only event the port reports itself — schemes annotate
+        # their writes with logical meaning at the call sites.
+        self.check = NULL_CHECKER
 
     # -- writes -------------------------------------------------------------
 
@@ -175,6 +181,8 @@ class MemoryPort:
         # its channel transfer completes.
         if drained > now_ns:
             drained += self.device.config.write_latency_ns
+        if self.check.active:
+            self.check.on_drain(self, now_ns, drained)
         return drained
 
     # -- bookkeeping -------------------------------------------------------------

@@ -24,6 +24,7 @@ import abc
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.check.sanitizer import NULL_CHECKER
 from repro.common.config import SystemConfig
 from repro.memctrl.port import MemoryPort
 from repro.nvm.device import NVMDevice
@@ -39,6 +40,13 @@ class SchemeTraits:
     extra_writes_on_critical_path: bool
     requires_flush_fence: bool
     write_traffic: str  # "Low" / "Medium" / "High"
+    # Declared durability-ordering discipline, enforced at runtime by the
+    # persist-ordering sanitizer (repro.check.sanitizer.DISCIPLINES keys):
+    # "none", "controller-ordered", "persist-domain", "log-drain",
+    # "flush-fence", or "undo-inplace".  The scheme's module docstring
+    # must state the same discipline — docs and contract stay in sync
+    # because both quote this field.
+    durability: str = "flush-fence"
 
 
 @dataclass
@@ -78,6 +86,7 @@ class PersistenceScheme(abc.ABC):
         self.stats = SchemeStats()
         self._next_tx_id = 1
         self.telemetry = NULL_TELEMETRY
+        self.check = NULL_CHECKER
 
     # -- telemetry ---------------------------------------------------------------
 
@@ -91,6 +100,21 @@ class PersistenceScheme(abc.ABC):
         self.telemetry = telemetry
         self.port.telemetry = telemetry
         self.port.track = "port"
+
+    # -- checking ----------------------------------------------------------------
+
+    def attach_checker(self, checker) -> None:
+        """Install a persist-ordering sanitizer on this scheme + its port.
+
+        The checker adopts this scheme's name and declared durability
+        discipline (``traits.durability``); subclasses with more ports
+        (HOOP's controller tree) override to propagate further.  Like
+        telemetry, attachment is purely observational — instrumented runs
+        are bit-identical to bare ones.
+        """
+        self.check = checker
+        self.port.check = checker
+        checker.bind_scheme(self.name, self.traits.durability)
 
     # -- transactional API -------------------------------------------------------
 

@@ -22,6 +22,13 @@ Model:
 Write traffic is one line per updated line per transaction — no logging,
 but no packing and no coalescing across transactions, which is exactly
 how HOOP ends up ~12% lower (Fig. 8).
+
+Paper analogue: LAD (Gupta et al. [16], logless atomic durability).
+Declared durability discipline: ``persist-domain`` — queued in-place
+writes sit inside the battery-backed persist domain, so no explicit
+drain edge is required before the synchronous commit token; the
+persist-ordering sanitizer (:mod:`repro.check`) checks coverage and the
+synchronous commit record only.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ class LADScheme(PersistenceScheme):
         extra_writes_on_critical_path=False,
         requires_flush_fence=False,
         write_traffic="Medium",
+        durability="persist-domain",
     )
 
     def __init__(self, config: SystemConfig, device: NVMDevice) -> None:
@@ -93,6 +101,11 @@ class LADScheme(PersistenceScheme):
             oldest = next(iter(queue))
             data = queue.pop(oldest)
             now_ns = self.port.sync_write(oldest, data, now_ns)
+            if self.check.active:
+                self.check.note_persist(
+                    tx_id, "data", oldest, CACHE_LINE_BYTES, now_ns,
+                    sync=True, port=self.port,
+                )
         queue[line_addr] = line_data
         return now_ns
 
@@ -105,8 +118,14 @@ class LADScheme(PersistenceScheme):
         # instant the transaction is durable even if power fails, so the
         # *functional* content lands now; the *timing* charges the drain.
         self._draining.append((tx_id, dict(queue)))
+        check = self.check
         for line_addr, data in queue.items():
             self.port.async_write(line_addr, data, now_ns)
+            if check.active:
+                check.note_persist(
+                    tx_id, "data", line_addr, CACHE_LINE_BYTES, now_ns,
+                    sync=False, port=self.port,
+                )
         now_ns = self.port.drain(now_ns)
         # The commit token: LAD's controllers persist a per-transaction
         # commit record so the persist-domain guarantee survives power
@@ -114,6 +133,10 @@ class LADScheme(PersistenceScheme):
         now_ns = self.port.sync_write(
             self._commit_slot(tx_id), b"\x01" * 64, now_ns
         )
+        if check.active:
+            check.note_persist(
+                tx_id, "commit", -1, 0, now_ns, sync=True, port=self.port
+            )
         now_ns += _COMMIT_HANDSHAKE_NS
         self._draining.pop()
         return now_ns

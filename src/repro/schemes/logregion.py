@@ -281,6 +281,13 @@ class LogRegionScheme(PersistenceScheme):
     record survived the crash scan, in commit order, and discards the
     rest — eagerly-streamed entries of uncommitted transactions are
     garbage the scan's CRC/commit filtering ignores.
+
+    Paper analogue: a hybrid of WrAP-style hardware redo [13] and
+    LSNVMM's word-granular log [17] (no single-paper counterpart).
+    Declared durability discipline: ``log-drain`` — the eagerly queued
+    word entries must be drained before the synchronous commit record;
+    the persist-ordering sanitizer (:mod:`repro.check`) enforces that
+    fence edge per committed transaction.
     """
 
     name = "logregion"
@@ -290,6 +297,7 @@ class LogRegionScheme(PersistenceScheme):
         extra_writes_on_critical_path=True,
         requires_flush_fence=False,
         write_traffic="Medium",
+        durability="log-drain",
     )
 
     def __init__(self, config, device) -> None:
@@ -332,6 +340,11 @@ class LogRegionScheme(PersistenceScheme):
         offset, _ = self.log.append(
             KIND_DATA, tx_id, addr, payload, now_ns, sync=False
         )
+        if self.check.active:
+            self.check.note_persist(
+                tx_id, "log", addr, size, now_ns, sync=False,
+                port=self.port,
+            )
         first, writes = self._open[tx_id]
         if first < 0:
             first = offset
@@ -350,6 +363,10 @@ class LogRegionScheme(PersistenceScheme):
         _, now_ns = self.log.append(
             KIND_COMMIT, tx_id, 0, b"", now_ns, sync=True
         )
+        if self.check.active:
+            self.check.note_persist(
+                tx_id, "commit", -1, 0, now_ns, sync=True, port=self.port
+            )
         self._home_pending.update(writes)
         return now_ns
 

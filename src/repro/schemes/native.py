@@ -6,6 +6,12 @@ eviction, and nothing is ordered, logged, or flushed.  Consequently a
 crash loses whatever had not happened to be evicted — the crash-
 consistency tests assert exactly that (Native is the one scheme allowed
 to fail them).
+
+Paper analogue: the paper's "Ideal" upper bound (no counterpart system).
+Declared durability discipline: ``none`` — the persist-ordering
+sanitizer (:mod:`repro.check`) checks nothing for this scheme, and the
+differential oracle only includes it in pre-crash logical-state
+convergence, never in crash-recovery comparisons.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ class NativeScheme(PersistenceScheme):
         extra_writes_on_critical_path=False,
         requires_flush_fence=False,
         write_traffic="Low",
+        durability="none",
     )
 
     def on_store(

@@ -23,6 +23,12 @@ transactions' flips apply; a torn final record is discarded, leaving the
 old copies current — exactly shadow paging's atomicity argument.  Our
 ``recover`` then consolidates every flipped line back to its home address
 so post-recovery NVM state is directly comparable across schemes.
+
+Paper analogue: SSP [38, 39] (cache-line shadow paging).  Declared
+durability discipline: ``flush-fence`` — the eagerly persisted inactive
+copies must be flushed and fenced (drained) before the synchronous flip
+record commits; the persist-ordering sanitizer (:mod:`repro.check`)
+enforces that fence edge on every committed transaction.
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ class OSPScheme(PersistenceScheme):
         extra_writes_on_critical_path=True,
         requires_flush_fence=True,
         write_traffic="Low",
+        durability="flush-fence",
     )
 
     def __init__(self, config: SystemConfig, device: NVMDevice) -> None:
@@ -156,6 +163,7 @@ class OSPScheme(PersistenceScheme):
         if not lines:
             return now_ns
         flips = []
+        check = self.check
         for line_addr, data in lines.items():
             self._shadow_for(line_addr)
             target = self._inactive_addr(line_addr)
@@ -163,6 +171,12 @@ class OSPScheme(PersistenceScheme):
             # the commit waits for the batch to drain.
             self.port.async_write(target, data, now_ns)
             self.commit_flushes += 1
+            if check.active:
+                # The shadow write covers the *home* line logically.
+                check.note_persist(
+                    tx_id, "data", line_addr, CACHE_LINE_BYTES, now_ns,
+                    sync=False, port=self.port,
+                )
             shadow, flip = self._pairs[line_addr]
             flips.append((line_addr, shadow, not flip))
         now_ns = self.port.drain(now_ns)
@@ -175,6 +189,10 @@ class OSPScheme(PersistenceScheme):
         _, now_ns = self.fliplog.append(
             KIND_COMMIT, tx_id, 0, payload, now_ns, sync=True
         )
+        if check.active:
+            check.note_persist(
+                tx_id, "commit", -1, 0, now_ns, sync=True, port=self.port
+            )
         for line_addr, shadow, flip in flips:
             self._pairs[line_addr] = (shadow, flip)
             self._write_slot(line_addr, now_ns)

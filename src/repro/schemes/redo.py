@@ -16,6 +16,12 @@ data are served from a DRAM-resident shadow at DRAM latency — Table I's
 
 Crash recovery replays the data entries of every transaction whose commit
 record is durable, in commit order, and discards the rest.
+
+Paper analogue: WrAP [13] (hardware redo logging through the controller
+write queue).  Declared durability discipline: ``log-drain`` — queued
+redo-log entries must be explicitly drained before the synchronous commit
+record persists; the persist-ordering sanitizer (:mod:`repro.check`)
+enforces exactly that edge on every committed transaction.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ class OptRedoScheme(PersistenceScheme):
         extra_writes_on_critical_path=True,
         requires_flush_fence=False,
         write_traffic="High",
+        durability="log-drain",
     )
 
     def __init__(self, config: SystemConfig, device: NVMDevice) -> None:
@@ -93,6 +100,7 @@ class OptRedoScheme(PersistenceScheme):
             now_ns = self._run_checkpoint(now_ns, blocking=True)
         # Stream the redo entries through the write queue, drain so every
         # entry is durable before the commit record, then persist it.
+        check = self.check
         for line_addr, data in write_set.items():
             self.log.append(
                 KIND_DATA,
@@ -103,11 +111,20 @@ class OptRedoScheme(PersistenceScheme):
                 sync=False,
                 min_entry_bytes=_LOG_ENTRY_BYTES,
             )
+            if check.active:
+                check.note_persist(
+                    tx_id, "log", line_addr, CACHE_LINE_BYTES, now_ns,
+                    sync=False, port=self.port,
+                )
         now_ns = self.port.drain(now_ns)
         _, now_ns = self.log.append(
             KIND_COMMIT, tx_id, 0, b"", now_ns, sync=True,
             min_entry_bytes=CACHE_LINE_BYTES,
         )
+        if check.active:
+            check.note_persist(
+                tx_id, "commit", -1, 0, now_ns, sync=True, port=self.port
+            )
         self._shadow.update(write_set)
         return now_ns
 

@@ -12,6 +12,14 @@ one.  That is exactly the Fig. 4a-vs-4b critical-path difference.
 
 Recovery rolls back transactions with no commit record by re-applying
 their undo images newest-first.
+
+Paper analogue: ATOM [24] (controller-enforced undo-before-data
+ordering).  Declared durability discipline: ``undo-inplace`` — the
+``log-drain`` rules plus per-line pre-image ordering: each line's undo
+entry must be durable (queued + drained) before its first in-place
+write, and the in-place writes drained before the synchronous commit
+record.  The persist-ordering sanitizer (:mod:`repro.check`) checks all
+three edges per committed transaction.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ class OptUndoScheme(PersistenceScheme):
         extra_writes_on_critical_path=True,
         requires_flush_fence=False,
         write_traffic="Medium",
+        durability="undo-inplace",
     )
 
     def __init__(self, config: SystemConfig, device: NVMDevice) -> None:
@@ -94,6 +103,11 @@ class OptUndoScheme(PersistenceScheme):
             self._first_offset.setdefault(tx_id, offset)
             logged.add(line_addr)
             self.stats.ordering_stalls += 1
+            if self.check.active:
+                self.check.note_persist(
+                    tx_id, "undo", line_addr, CACHE_LINE_BYTES, now_ns,
+                    sync=False, port=self.port,
+                )
         self._tx_lines[tx_id][line_addr] = line_data
         return now_ns
 
@@ -103,13 +117,23 @@ class OptUndoScheme(PersistenceScheme):
         # the commit record.  Two drains back-to-back is what makes undo's
         # critical path longer than redo's single drain (Fig. 4a vs 4b).
         lines = self._tx_lines.pop(tx_id, {})
+        check = self.check
         now_ns = self.port.drain(now_ns)  # logs-before-data
         for line_addr, data in lines.items():
             self.port.async_write(line_addr, data, now_ns)
+            if check.active:
+                check.note_persist(
+                    tx_id, "data", line_addr, CACHE_LINE_BYTES, now_ns,
+                    sync=False, port=self.port,
+                )
         now_ns = self.port.drain(now_ns)  # data-before-commit
         _, now_ns = self.log.append(
             KIND_COMMIT, tx_id, 0, b"", now_ns, sync=True,
         )
+        if check.active:
+            check.note_persist(
+                tx_id, "commit", -1, 0, now_ns, sync=True, port=self.port
+            )
         self._logged_lines.pop(tx_id, None)
         self._first_offset.pop(tx_id, None)
         return now_ns

@@ -1,0 +1,186 @@
+"""Docstring-coverage gate (ratchet-only).
+
+Walks every module under ``src/repro`` with :mod:`ast` and counts which
+public definitions (modules, classes, functions, methods — names not
+starting with ``_``, plus ``__init__`` exempted as covered by its class)
+carry a docstring.  Coverage is compared per-module against the recorded
+baseline in ``docs/docstring_baseline.json``: a module may gain
+docstrings freely, but dropping below its recorded coverage fails the
+gate — the ratchet only ever tightens.  New modules must enter at 100%.
+
+Usage::
+
+    python -m repro.tools.doccheck            # gate against the baseline
+    python -m repro.tools.doccheck --update   # re-record the baseline
+
+Run ``--update`` after deliberately improving coverage so the new level
+becomes the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "docs" / "docstring_baseline.json"
+
+
+@dataclass
+class ModuleReport:
+    """Docstring counts for one module."""
+
+    module: str
+    documented: int = 0
+    total: int = 0
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Documented fraction; an empty module counts as covered."""
+        return 1.0 if not self.total else self.documented / self.total
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _walk_definitions(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """(dotted name, node) for the module and every public def/class."""
+    out: List[Tuple[str, ast.AST]] = [("<module>", tree)]
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = child.name
+                # __init__ is documented by its class; other dunders and
+                # private helpers are exempt.
+                if not _is_public(name):
+                    continue
+                dotted = f"{prefix}{name}"
+                out.append((dotted, child))
+                if isinstance(child, ast.ClassDef):
+                    visit(child, f"{dotted}.")
+
+    visit(tree, "")
+    return out
+
+
+def scan_module(path: pathlib.Path) -> ModuleReport:
+    """Docstring coverage of one source file."""
+    relative = path.relative_to(SOURCE_ROOT.parent)
+    module = str(relative.with_suffix("")).replace("/", ".")
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    report = ModuleReport(module=module)
+    tree = ast.parse(path.read_text())
+    for name, node in _walk_definitions(tree):
+        report.total += 1
+        if ast.get_docstring(node):
+            report.documented += 1
+        else:
+            report.missing.append(name)
+    return report
+
+
+def scan_tree() -> Dict[str, ModuleReport]:
+    """Scan every module under ``src/repro``."""
+    reports = {}
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        report = scan_module(path)
+        reports[report.module] = report
+    return reports
+
+
+def check_against_baseline(
+    reports: Dict[str, ModuleReport], baseline: Dict[str, float]
+) -> List[str]:
+    """Ratchet violations; empty means the gate passes."""
+    problems = []
+    for module, report in reports.items():
+        floor = baseline.get(module)
+        if floor is None:
+            if report.coverage < 1.0:
+                problems.append(
+                    f"{module}: new module enters at"
+                    f" {report.coverage:.0%}, must be 100%"
+                    f" (missing: {', '.join(report.missing)})"
+                )
+            continue
+        # Small epsilon so re-recorded floats never trip the gate.
+        if report.coverage < floor - 1e-9:
+            problems.append(
+                f"{module}: coverage {report.coverage:.1%} fell below"
+                f" recorded floor {floor:.1%}"
+                f" (missing: {', '.join(report.missing) or '-'})"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI body; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.doccheck",
+        description="Ratchet-only docstring-coverage gate.",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-record docs/docstring_baseline.json at current coverage",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="list per-module coverage"
+    )
+    args = parser.parse_args(argv)
+
+    reports = scan_tree()
+    total = sum(r.total for r in reports.values())
+    documented = sum(r.documented for r in reports.values())
+    if args.verbose:
+        for module, report in sorted(reports.items()):
+            print(
+                f"{report.coverage:6.1%}  {module}"
+                f"  ({report.documented}/{report.total})"
+            )
+    print(
+        f"docstring coverage: {documented}/{total}"
+        f" ({documented / total:.1%}) across {len(reports)} modules"
+    )
+
+    if args.update:
+        # Truncate, never round up: the recorded floor must not exceed
+        # the true ratio (2/3 rounded to 0.6667 would instantly trip).
+        payload = {
+            module: int(report.coverage * 10000) / 10000
+            for module, report in sorted(reports.items())
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline recorded to {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(
+            f"no baseline at {BASELINE_PATH}; run with --update first",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    problems = check_against_baseline(reports, baseline)
+    for problem in problems:
+        print(f"RATCHET: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("ratchet holds: no module regressed below its floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Markdown link checker for the repo's documentation.
+
+Validates every ``[text](target)`` link in README.md, EXPERIMENTS.md and
+``docs/*.md``:
+
+* **relative paths** must exist on disk (anchors checked too when the
+  target is a markdown file);
+* **intra-document anchors** (``#section``) must match a heading in the
+  same file, using GitHub's slug rules (lowercase, spaces to dashes,
+  punctuation stripped);
+* **external URLs** are *not* fetched — CI must not depend on the
+  network — but must at least parse as http(s).
+
+Usage::
+
+    python -m repro.tools.linkcheck            # exit 1 on any broken link
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+DOC_GLOBS = ("README.md", "EXPERIMENTS.md", "docs/*.md")
+
+# [text](target) — skips images' leading ! naturally (same syntax), and
+# ignores fenced code blocks via pre-stripping.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, punctuation out, spaces to dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    slug = heading.lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(text: str) -> set:
+    """Every heading anchor a document defines."""
+    return {github_slug(match) for match in _HEADING_RE.findall(text)}
+
+
+def doc_files() -> List[pathlib.Path]:
+    """The markdown files the gate covers."""
+    files: List[pathlib.Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Broken-link descriptions for one markdown file."""
+    text = _FENCE_RE.sub("", path.read_text())
+    problems = []
+    own_anchors = anchors_of(path.read_text())
+    for target in _LINK_RE.findall(text):
+        relative = path.relative_to(REPO_ROOT)
+        if target.startswith(("http://", "https://")):
+            continue
+        if target.startswith("mailto:"):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in own_anchors:
+                problems.append(f"{relative}: missing anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (path.parent / file_part).resolve()
+        if not dest.exists():
+            problems.append(f"{relative}: broken path {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(dest.read_text()):
+                problems.append(
+                    f"{relative}: missing anchor #{anchor} in {file_part}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI body; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.linkcheck",
+        description="Offline markdown link checker for repo docs.",
+    )
+    parser.parse_args(argv)
+    files = doc_files()
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(f"BROKEN: {problem}", file=sys.stderr)
+    print(
+        f"checked {len(files)} file(s):"
+        f" {'all links ok' if not problems else f'{len(problems)} broken'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.check.sanitizer import NULL_CHECKER
 from repro.common.addr import CACHE_LINE_BYTES, split_by_cache_line
 from repro.common.config import SystemConfig
 from repro.common.errors import AddressError, TransactionError
@@ -50,6 +51,7 @@ class MemorySystem:
         scheme: Union[str, PersistenceScheme] = "hoop",
         *,
         telemetry=None,
+        checker=None,
     ) -> None:
         self.config = config or SystemConfig.paper_default()
         if isinstance(scheme, str):
@@ -79,6 +81,12 @@ class MemorySystem:
             faulty = getattr(self.device, "injector", None)
             if faulty is not None:
                 self.device.telemetry = self.telemetry
+        # Persist-ordering sanitizer (repro.check): same no-op-singleton
+        # pattern as telemetry; `_chk_on` is the hot-path guard.
+        self.check = checker if checker is not None else NULL_CHECKER
+        self._chk_on = self.check.active
+        if self._chk_on:
+            self.scheme.attach_checker(self.check)
         self.clocks = [0.0] * self.config.num_cores
         self.committed_transactions = 0
         # Critical-path latency accumulator (Fig. 7b): sum/count/max of
@@ -180,6 +188,8 @@ class MemorySystem:
         tx.tx_id, now = self.scheme.tx_begin(core, now)
         tx.begin_ns = now
         self.clocks[core] = now
+        if self._chk_on:
+            self.check.on_tx_begin(tx.tx_id, now)
 
     def _end(self, tx: Transaction) -> None:
         core = tx.core
@@ -187,6 +197,10 @@ class MemorySystem:
         now = self.scheme.tx_end(core, tx.tx_id, now)
         tx.end_ns = now
         self.clocks[core] = now
+        if self._chk_on:
+            # Commit returned to the program: every ordering edge the
+            # scheme's discipline promises must exist by now.
+            self.check.on_tx_committed(tx.tx_id, now)
         self.committed_transactions += 1
         latency = tx.latency_ns
         self.latency_sum_ns += latency
@@ -203,6 +217,8 @@ class MemorySystem:
         core = tx.core
         now = self.clocks[core]
         size = len(data)
+        if self._chk_on:
+            self.check.on_store(tx.tx_id, addr, size, now)
         line_addr = addr & _LINE_MASK
         if addr >= 0 and (addr + size - 1) & _LINE_MASK == line_addr:
             # Fast path: the store stays within one cache line (the

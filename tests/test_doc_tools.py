@@ -1,0 +1,68 @@
+"""Doc tooling: docstring ratchet and markdown link checker."""
+
+import json
+
+from repro.tools.doccheck import (
+    BASELINE_PATH,
+    ModuleReport,
+    check_against_baseline,
+    scan_tree,
+)
+from repro.tools.linkcheck import anchors_of, check_file, doc_files, github_slug
+
+
+def test_ratchet_holds_against_committed_baseline():
+    reports = scan_tree()
+    baseline = json.loads(BASELINE_PATH.read_text())
+    problems = check_against_baseline(reports, baseline)
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_modules_fully_documented():
+    """The new subsystem enters the ratchet at a high floor."""
+    reports = scan_tree()
+    for module in ("repro.check", "repro.check.sanitizer", "repro.check.trace"):
+        assert reports[module].coverage == 1.0, reports[module].missing
+
+
+def test_ratchet_flags_regression():
+    reports = {"m": ModuleReport(module="m", documented=1, total=2)}
+    problems = check_against_baseline(reports, {"m": 1.0})
+    assert problems and "fell below" in problems[0]
+
+
+def test_ratchet_requires_new_modules_at_full_coverage():
+    report = ModuleReport(module="new", documented=1, total=2)
+    report.missing.append("thing")
+    problems = check_against_baseline({"new": report}, {})
+    assert problems and "new module" in problems[0]
+
+
+def test_github_slug_rules():
+    assert github_slug("Life of a store") == "life-of-a-store"
+    assert github_slug("`python -m repro.check`") == "python--m-reprocheck"
+    assert github_slug("A, B & C!") == "a-b--c"
+
+
+def test_anchors_of_headings():
+    text = "# Top\n\n## Sub Section\n\ncode\n\n### `cli` usage\n"
+    assert anchors_of(text) == {"top", "sub-section", "cli-usage"}
+
+
+def test_repo_docs_have_no_broken_links():
+    problems = []
+    for path in doc_files():
+        problems.extend(check_file(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_linkcheck_detects_broken_path(tmp_path, monkeypatch):
+    import repro.tools.linkcheck as lc
+
+    doc = tmp_path / "x.md"
+    doc.write_text("# T\n\n[gone](missing.md) [ok](#t) [bad](#nope)\n")
+    monkeypatch.setattr(lc, "REPO_ROOT", tmp_path)
+    problems = lc.check_file(doc)
+    assert any("broken path" in p for p in problems)
+    assert any("missing anchor #nope" in p for p in problems)
+    assert not any("#t" in p for p in problems)

@@ -76,22 +76,26 @@ def test_prepared_but_uncommitted_discarded_everywhere():
     assert system.durable_state(base + 64, 8) == bytes(8)
 
 
-def test_partial_commit_entries_do_not_leak():
-    """Commit entries on only some controllers must not replay the tx."""
+def test_commit_entry_anywhere_replays_everywhere():
+    """One surviving commit entry proves the global commit decision.
+
+    The transaction committed (the ``with`` block returned control to
+    the program), then controller 1's commit-log blocks are lost — the
+    torn-page-rewrite failure mode.  2PC presumed-abort reasoning says
+    controller 0's durable entry is proof of the global decision, so the
+    victim must still replay its half of the write set via the
+    STATE_LAST region scan.  Discarding the transaction here (the old
+    intersection rule) would un-commit an acknowledged transaction.
+    """
     system = make_system()
     scheme = system.scheme
     base = system.allocate(128)
     with system.transaction() as tx:
         tx.store_u64(base, 5)
         tx.store_u64(base + 64, 6)
-    committed_tx = 1
-    # Simulate a torn commit: wipe controller 1's commit-log blocks so
-    # its entry for the transaction vanishes (the coordinator crashed
-    # between the two commit messages).
+    # Wipe controller 1's commit-log blocks so its entries vanish.
     victim = scheme.controllers[1]
     victim.region.rebuild_from_nvm()
-    from repro.core.oop_region import BlockState
-
     for block in range(victim.region.num_blocks):
         if victim.region.stream_of(block) == "addr":
             for slice_index in victim.region.iter_block_slices(block):
@@ -100,7 +104,9 @@ def test_partial_commit_entries_do_not_leak():
                 )
     system.crash()
     report = system.recover()
-    assert report.committed_transactions == 0
+    assert report.committed_transactions == 1
+    assert int.from_bytes(system.durable_state(base, 8), "little") == 5
+    assert int.from_bytes(system.durable_state(base + 64, 8), "little") == 6
 
 
 def test_randomized_workload_with_crash():
