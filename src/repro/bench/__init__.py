@@ -59,6 +59,81 @@ def bench_matrix(
     }
 
 
+def bench_crashtest(
+    *,
+    sample: int = 200,
+    seed: int = 7,
+    schemes: Optional[Sequence[str]] = None,
+) -> dict:
+    """Time the crash-point sweep cold vs snapshot-incremental.
+
+    Runs the default sweep twice in this process — once with
+    ``REPRO_SNAPSHOT_DISABLE=1`` (the quadratic rerun-from-scratch
+    "before" path) and once with snapshots enabled (the checkpointed
+    "after" path) — and reports wall time and boundaries/second per
+    scheme for both.  The ``cells`` block is shaped like the harness
+    benchmark's so :func:`check_against_baseline` gates regressions on
+    either mode the same way.
+    """
+    import os
+    import time
+
+    from repro.crashtest import SWEEP_SCHEMES, sweep_scheme
+
+    names = list(schemes or SWEEP_SCHEMES.values())
+    saved = os.environ.get("REPRO_SNAPSHOT_DISABLE")
+    modes = {}
+    cells = {}
+    try:
+        for mode in ("cold", "incremental"):
+            if mode == "cold":
+                os.environ["REPRO_SNAPSHOT_DISABLE"] = "1"
+            else:
+                os.environ.pop("REPRO_SNAPSHOT_DISABLE", None)
+            per_scheme = {}
+            total_s = 0.0
+            total_boundaries = 0
+            for name in names:
+                t0 = time.perf_counter()
+                result = sweep_scheme(name, sample=sample, seed=seed)
+                elapsed = time.perf_counter() - t0
+                boundaries = len(result.cases)
+                per_scheme[name] = {
+                    "seconds": round(elapsed, 4),
+                    "boundaries": boundaries,
+                    "boundaries_per_s": round(boundaries / elapsed, 1),
+                }
+                cells[f"{mode}/{name}"] = {
+                    "seconds": round(elapsed, 4),
+                    "source": "computed",
+                    "boundaries": boundaries,
+                }
+                total_s += elapsed
+                total_boundaries += boundaries
+            modes[mode] = {
+                "seconds": round(total_s, 4),
+                "boundaries": total_boundaries,
+                "boundaries_per_s": round(total_boundaries / total_s, 1),
+                "per_scheme": per_scheme,
+            }
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SNAPSHOT_DISABLE", None)
+        else:
+            os.environ["REPRO_SNAPSHOT_DISABLE"] = saved
+    return {
+        "schema": SCHEMA_VERSION,
+        "sample": sample,
+        "seed": seed,
+        "python": platform.python_version(),
+        "speedup": round(
+            modes["cold"]["seconds"] / modes["incremental"]["seconds"], 2
+        ),
+        "modes": modes,
+        "cells": cells,
+    }
+
+
 def write_report(payload: dict, out_path: pathlib.Path) -> None:
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

@@ -46,21 +46,46 @@ def main(argv=None) -> int:
         "--regression-factor", type=float, default=2.0,
         help="slowdown factor treated as a regression (default 2.0)",
     )
+    parser.add_argument(
+        "--crashtest", action="store_true",
+        help="benchmark the crash-point sweep (cold vs incremental)"
+        " instead of the experiment matrix",
+    )
+    parser.add_argument(
+        "--crashtest-sample", type=int, default=200,
+        help="sampled boundaries per scheme for --crashtest",
+    )
     args = parser.parse_args(argv)
 
     if args.no_cache:
         os.environ["REPRO_NO_CACHE"] = "1"
 
-    payload = bench.bench_matrix(
-        args.scale, args.jobs, use_cache=not args.no_cache
-    )
-    out_path = pathlib.Path(args.out)
-    bench.write_report(payload, out_path)
-    print(
-        f"[bench] {args.scale} matrix: {payload['total_matrix_s']:.2f}s"
-        f" total, {payload['cells_computed']} computed,"
-        f" {payload['cells_from_cache']} cached -> {out_path}"
-    )
+    if args.crashtest:
+        if args.out == "BENCH_harness.json":
+            args.out = "BENCH_crashtest.json"
+        payload = bench.bench_crashtest(sample=args.crashtest_sample)
+        out_path = pathlib.Path(args.out)
+        bench.write_report(payload, out_path)
+        modes = payload["modes"]
+        print(
+            f"[bench] crashtest sweep: cold"
+            f" {modes['cold']['seconds']:.2f}s, incremental"
+            f" {modes['incremental']['seconds']:.2f}s"
+            f" ({payload['speedup']:.2f}x,"
+            f" {modes['incremental']['boundaries_per_s']:.0f}"
+            f" boundaries/s) -> {out_path}"
+        )
+    else:
+        payload = bench.bench_matrix(
+            args.scale, args.jobs, use_cache=not args.no_cache
+        )
+        out_path = pathlib.Path(args.out)
+        bench.write_report(payload, out_path)
+        print(
+            f"[bench] {args.scale} matrix: {payload['total_matrix_s']:.2f}s"
+            f" total, {payload['cells_computed']} computed,"
+            f" {payload['cells_from_cache']} cached -> {out_path}"
+        )
 
     if args.baseline:
         try:

@@ -107,12 +107,23 @@ def main(argv=None) -> int:
         "--out", help="also write the report to this file"
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the run; top functions by cumulative time are"
+        " written next to --out (or to check_profile.txt)",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="suppress per-scheme progress lines",
     )
     args = parser.parse_args(argv)
     progress = None if args.quiet else print
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     sections = []
     ok = True
     if args.mutant:
@@ -149,6 +160,23 @@ def main(argv=None) -> int:
         path = pathlib.Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(report + "\n")
+    if profiler is not None:
+        profiler.disable()
+        import io
+        import pstats
+
+        profile_path = (
+            pathlib.Path(args.out).with_suffix(".profile.txt")
+            if args.out
+            else pathlib.Path("check_profile.txt")
+        )
+        profile_path.parent.mkdir(parents=True, exist_ok=True)
+        text = io.StringIO()
+        pstats.Stats(profiler, stream=text).sort_stats(
+            "cumulative"
+        ).print_stats(40)
+        profile_path.write_text(text.getvalue())
+        print(f"[check] profile -> {profile_path}")
     return 0 if ok else 1
 
 

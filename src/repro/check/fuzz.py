@@ -22,16 +22,64 @@ from typing import Callable, List, Optional, TypeVar
 from repro.check.oracle import build_system, run_trace
 from repro.check.sanitizer import PersistOrderSanitizer, Violation
 from repro.check.trace import Trace, TraceTxn, generate_trace
+from repro.snapshot import snapshots_enabled
+from repro.snapshot.replay import TraceReplayCache
 
 T = TypeVar("T")
 
 
-def trace_violations(scheme: str, trace: Trace) -> List[Violation]:
-    """Replay ``trace`` on ``scheme`` under a fresh sanitizer."""
-    sanitizer = PersistOrderSanitizer()
-    system = build_system(scheme, checker=sanitizer)
-    run_trace(system, trace)
-    return sanitizer.violations
+def make_replay_cache(scheme: str, slots: int) -> TraceReplayCache:
+    """A :class:`TraceReplayCache` for sanitizer-instrumented replays.
+
+    ddmin probes hundreds of txn-list variants that share long prefixes;
+    the cache snapshots each replayed prefix (system + sanitizer state)
+    so a variant re-executes only its divergent suffix.  The sanitizer
+    rides inside the snapshot, so its violation list always reflects
+    exactly the transactions of the variant being scored.
+    """
+
+    def build():
+        sanitizer = PersistOrderSanitizer()
+        system = build_system(scheme, checker=sanitizer)
+        addrs = [system.allocate(64) for _ in range(slots)]
+        return {"system": system, "addrs": addrs}
+
+    def apply(state, txn: TraceTxn) -> None:
+        system = state["system"]
+        addrs = state["addrs"]
+        with system.transaction(txn.core) as tx:
+            for store in txn.stores:
+                tx.store(
+                    addrs[store.slot] + 8 * store.offset,
+                    store.value.to_bytes(8, "little"),
+                )
+
+    return TraceReplayCache(build, apply)
+
+
+def trace_violations(
+    scheme: str,
+    trace: Trace,
+    *,
+    cache: Optional[TraceReplayCache] = None,
+    record: bool = True,
+) -> List[Violation]:
+    """Replay ``trace`` on ``scheme`` under a fresh sanitizer.
+
+    With a ``cache`` (and snapshots enabled) the replay restores the
+    longest already-seen transaction prefix instead of starting cold;
+    the returned violations are identical either way because the trace
+    is pure data and the sanitizer state is part of each snapshot.
+    ``record=False`` skips caching the prefixes this replay creates
+    (for one-off scoring of traces no later replay will share).
+    """
+    if cache is None or not snapshots_enabled():
+        sanitizer = PersistOrderSanitizer()
+        system = build_system(scheme, checker=sanitizer)
+        run_trace(system, trace)
+        return sanitizer.violations
+    state = cache.replay(trace.txns, record=record)
+    return list(state["system"].check.violations)
 
 
 def ddmin(items: List[T], failing: Callable[[List[T]], bool]) -> List[T]:
@@ -59,11 +107,20 @@ def ddmin(items: List[T], failing: Callable[[List[T]], bool]) -> List[T]:
     return items
 
 
-def shrink_trace(scheme: str, trace: Trace) -> Trace:
+def shrink_trace(
+    scheme: str,
+    trace: Trace,
+    *,
+    cache: Optional[TraceReplayCache] = None,
+) -> Trace:
     """Delta-debug ``trace`` down to a minimal still-violating trace."""
+    if cache is None and snapshots_enabled():
+        cache = make_replay_cache(scheme, trace.slots)
 
     def failing_txns(txns: List[TraceTxn]) -> bool:
-        return bool(trace_violations(scheme, trace.with_txns(txns)))
+        return bool(
+            trace_violations(scheme, trace.with_txns(txns), cache=cache)
+        )
 
     txns = ddmin(list(trace.txns), failing_txns)
     # Second stage: shrink each surviving transaction's store list.
@@ -76,7 +133,9 @@ def shrink_trace(scheme: str, trace: Trace) -> Trace:
             candidate = list(txns)
             candidate[index] = TraceTxn(txn.core, tuple(stores))
             return bool(
-                trace_violations(scheme, trace.with_txns(candidate))
+                trace_violations(
+                    scheme, trace.with_txns(candidate), cache=cache
+                )
             )
 
         stores = ddmin(list(txn.stores), failing_stores)
@@ -126,6 +185,12 @@ def fuzz_scheme(
     progress=None,
 ) -> FuzzResult:
     """Fuzz ``scheme``; on the first violation, shrink and stop."""
+    # One replay cache for the whole campaign: every iteration's trace
+    # shares the empty-prefix snapshot (no per-iteration system build),
+    # and the shrink phase reuses prefixes across ddmin variants.
+    cache = (
+        make_replay_cache(scheme, slots) if snapshots_enabled() else None
+    )
     for i in range(iterations):
         trace = generate_trace(
             seed + i,
@@ -133,19 +198,21 @@ def fuzz_scheme(
             slots=slots,
             cores=cores,
         )
-        violations = trace_violations(scheme, trace)
+        violations = trace_violations(
+            scheme, trace, cache=cache, record=False
+        )
         if progress:
             progress(
                 f"fuzz[{scheme}] iter {i + 1}:"
                 f" {len(violations)} violation(s)"
             )
         if violations:
-            shrunk = shrink_trace(scheme, trace)
+            shrunk = shrink_trace(scheme, trace, cache=cache)
             return FuzzResult(
                 scheme=scheme,
                 found=True,
                 iterations=i + 1,
                 trace=shrunk,
-                violations=trace_violations(scheme, shrunk),
+                violations=trace_violations(scheme, shrunk, cache=cache),
             )
     return FuzzResult(scheme=scheme, found=False, iterations=iterations)

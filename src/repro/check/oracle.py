@@ -24,6 +24,7 @@ figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.check.sanitizer import PersistOrderSanitizer
@@ -32,6 +33,8 @@ from repro.common.config import FaultConfig, SystemConfig
 from repro.common.errors import PowerLossError
 from repro.crashtest import choose_boundaries, verify_atomic_durability
 from repro.faults import make_device
+from repro.snapshot import capture, checkpoint_cadence, snapshots_enabled
+from repro.snapshot.replay import Checkpoint, CheckpointChain
 from repro.txn.system import MemorySystem
 
 # Every registered scheme plus the ideal baseline; crash-recovery
@@ -96,6 +99,72 @@ def run_trace(system: MemorySystem, trace: Trace) -> TraceOutcome:
     completed = 0
     try:
         for txn in trace.txns:
+            staged = {}
+            with system.transaction(txn.core) as tx:
+                for store in txn.stores:
+                    addr = slot_addrs[store.slot] + 8 * store.offset
+                    value = store.value.to_bytes(8, "little")
+                    tx.store(addr, value)
+                    staged[addr] = value
+            oracle.update(staged)
+            staged = {}
+            completed += 1
+    except PowerLossError:
+        return TraceOutcome(slot_addrs, oracle, staged, True, completed)
+    return TraceOutcome(slot_addrs, oracle, staged, False, completed)
+
+
+def _probe_with_checkpoints(
+    system: MemorySystem, trace: Trace, cadence: int
+) -> Tuple[TraceOutcome, CheckpointChain]:
+    """Fault-free :func:`run_trace` that doubles as a recorder.
+
+    Before every ``cadence``-th transaction a snapshot checkpoint is
+    laid down (with the committed-word oracle as of that point), so each
+    crash boundary can later replay just the trace suffix instead of the
+    whole trace.  The trace itself is pure data — replay consumes no
+    RNG — so a resumed run is bit-identical to a cold one.
+    """
+    chain = CheckpointChain()
+    slot_addrs = [system.allocate(64) for _ in range(trace.slots)]
+    oracle: Dict[int, bytes] = {}
+    for index, txn in enumerate(trace.txns):
+        if index % cadence == 0:
+            chain.add(
+                Checkpoint(
+                    index,
+                    system.device.stats.writes,
+                    capture(system, txn_index=index),
+                    dict(oracle),
+                )
+            )
+        staged: Dict[int, bytes] = {}
+        with system.transaction(txn.core) as tx:
+            for store in txn.stores:
+                addr = slot_addrs[store.slot] + 8 * store.offset
+                value = store.value.to_bytes(8, "little")
+                tx.store(addr, value)
+                staged[addr] = value
+        oracle.update(staged)
+    return (
+        TraceOutcome(slot_addrs, oracle, {}, False, len(trace.txns)),
+        chain,
+    )
+
+
+def _resume_trace(
+    system: MemorySystem,
+    trace: Trace,
+    slot_addrs: List[int],
+    start: int,
+    oracle: Dict[int, bytes],
+) -> TraceOutcome:
+    """Continue a restored replay from transaction ``start``."""
+    oracle = dict(oracle)
+    staged: Dict[int, bytes] = {}
+    completed = start
+    try:
+        for txn in trace.txns[start:]:
             staged = {}
             with system.transaction(txn.core) as tx:
                 for store in txn.stores:
@@ -179,12 +248,24 @@ def check_scheme(
                 f" {expected[addr].hex()}"
             )
 
-    # 3: crash-recovery convergence (real schemes only).
+    # 3: crash-recovery convergence (real schemes only).  With
+    # snapshots enabled the probe run doubles as a recorder and every
+    # boundary restores the nearest checkpoint at or before its cut,
+    # replaying only the trace suffix; verdicts are bit-identical to
+    # the cold per-boundary rerun (REPRO_SNAPSHOT_DISABLE=1).
     if scheme in REAL_SCHEMES and crash_sample:
         probe = build_system(
             scheme, faults=FaultConfig(enabled=True, seed=seed)
         )
-        probe_outcome = run_trace(probe, trace)
+        incremental = snapshots_enabled()
+        chain = CheckpointChain()
+        if incremental:
+            cadence = checkpoint_cadence(max(1, len(trace.txns) // 8))
+            probe_outcome, chain = _probe_with_checkpoints(
+                probe, trace, cadence
+            )
+        else:
+            probe_outcome = run_trace(probe, trace)
         assert not probe_outcome.power_lost
         total_writes = probe.device.stats.writes
         for boundary in choose_boundaries(total_writes, crash_sample, seed):
@@ -194,8 +275,28 @@ def check_scheme(
                 power_loss_after_write=boundary,
                 torn=boundary % 2 == 1,
             )
-            crashed = build_system(scheme, faults=faults)
-            crash_outcome = run_trace(crashed, trace)
+            checkpoint = chain.nearest(boundary) if incremental else None
+            if checkpoint is not None:
+                crashed = checkpoint.snapshot.restore()
+                # Rearm with the residual write budget; the fresh
+                # injector PRNG matches the cold one bit-for-bit
+                # because nothing consumes it before the cut.
+                crashed.device.rearm(
+                    _dc_replace(
+                        faults,
+                        power_loss_after_write=boundary - checkpoint.writes,
+                    )
+                )
+                crash_outcome = _resume_trace(
+                    crashed,
+                    trace,
+                    probe_outcome.slot_addrs,
+                    checkpoint.txn_index,
+                    checkpoint.oracle,
+                )
+            else:
+                crashed = build_system(scheme, faults=faults)
+                crash_outcome = run_trace(crashed, trace)
             crashed.crash()
             crashed.recover(threads=2)
             failure = verify_atomic_durability(

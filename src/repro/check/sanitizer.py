@@ -520,3 +520,29 @@ class PersistOrderSanitizer(NullChecker):
         ]
         parts.extend(v.render() for v in self.violations)
         return "\n".join(parts)
+
+# -- snapshot declarations ----------------------------------------------------
+# CheckEvent/DisciplineRules are frozen records; Violation's window list is
+# append-only per instance, so the sanitizer deep-clones it via "__all__".
+CheckEvent.__snapshot_state__ = "__atom__"
+DisciplineRules.__snapshot_state__ = "__shared__"
+Violation.__snapshot_state__ = "__all__"
+NullChecker.__snapshot_state__ = "__shared__"
+PersistOrderSanitizer.__snapshot_state__ = "__all__"
+
+
+def _sanitizer_snapshot_fixup(self, memo: dict) -> None:
+    """Re-key ``_ports`` from old port ids to cloned port ids.
+
+    ``_ports`` maps ``id(port)`` to a small stable display id; a snapshot
+    clone has new port objects.  Ports are reachable through the scheme,
+    so the memo covers every live key; dead keys keep their entry (the
+    stable ids must not be reassigned).
+    """
+    self._ports = {
+        (id(memo[key]) if key in memo else key): pid
+        for key, pid in self._ports.items()
+    }
+
+
+PersistOrderSanitizer.__snapshot_fixup__ = _sanitizer_snapshot_fixup

@@ -116,3 +116,10 @@ def expected_state(
             addr = slot_addrs[store.slot] + 8 * store.offset
             state[addr] = store.value.to_bytes(8, "little")
     return state
+
+
+# -- snapshot declarations ----------------------------------------------------
+# Traces are frozen records: replay caches share them by reference.
+TraceStore.__snapshot_state__ = "__shared__"
+TraceTxn.__snapshot_state__ = "__shared__"
+Trace.__snapshot_state__ = "__shared__"

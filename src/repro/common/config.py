@@ -304,3 +304,19 @@ class SystemConfig:
     @property
     def cycle_ns(self) -> float:
         return 1e9 / self.core_freq_hz * NS
+
+
+# -- snapshot declarations ----------------------------------------------------
+# All configs are frozen and immutable: snapshots share them by reference
+# (see repro.snapshot).
+for _cls in (
+    CacheConfig,
+    EnergyConfig,
+    NVMConfig,
+    FaultConfig,
+    GCConfig,
+    HoopConfig,
+    SystemConfig,
+):
+    _cls.__snapshot_state__ = "__shared__"
+del _cls

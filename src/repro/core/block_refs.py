@@ -66,3 +66,7 @@ class BlockRefs:
         self._open_txs.clear()
 
     clear = crash
+
+
+# -- snapshot declarations ----------------------------------------------------
+BlockRefs.__snapshot_state__ = "__all__"

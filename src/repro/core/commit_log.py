@@ -30,6 +30,8 @@ from repro.telemetry.hub import NULL_TELEMETRY
 class _Page:
     """A volatile view of one on-NVM address slice."""
 
+    __snapshot_state__ = "__all__"
+
     slice_index: int
     content: AddressSlice = field(default_factory=AddressSlice)
 
@@ -48,6 +50,19 @@ class CommittedTx:
 
 class CommitLog:
     """Manages address memory slices and the retired-bit lifecycle."""
+
+    __snapshot_state__ = "__all__"
+
+    def __snapshot_fixup__(self, memo: dict) -> None:
+        """Re-key the dirty set from old page ids to cloned page ids.
+
+        ``_dirty`` holds ``id(page)`` of live :class:`_Page` objects; a
+        snapshot clone gets new objects with new ids.  Every dirty page
+        is reachable via ``_pages``, so the memo covers it.
+        """
+        self._dirty = {
+            id(memo[page_id]) for page_id in self._dirty if page_id in memo
+        }
 
     def __init__(self, region: OOPRegion, codec: SliceCodec) -> None:
         self.region = region
@@ -258,3 +273,8 @@ class CommitLog:
         self._tx_pages = {}
         self._dirty = set()
         self._next_sequence = 0
+
+# -- snapshot declarations ----------------------------------------------------
+# CommittedTx is a frozen record built on demand; _Page and CommitLog
+# declare theirs in the class body (CommitLog also needs a fixup).
+CommittedTx.__snapshot_state__ = "__atom__"

@@ -468,3 +468,9 @@ class HoopScheme(PersistenceScheme):
     @property
     def hoop_stats(self) -> HoopStats:
         return self.controller.stats
+
+
+# -- snapshot declarations ----------------------------------------------------
+HoopStats.__snapshot_state__ = "__atoms__"
+HoopController.__snapshot_state__ = "__all__"
+HoopScheme.__snapshot_state__ = "__all__"

@@ -82,3 +82,8 @@ class EvictionBuffer:
 
     def clear(self) -> None:
         self._lines.clear()
+
+
+# -- snapshot declarations ----------------------------------------------------
+EvictionBufferStats.__snapshot_state__ = "__atoms__"
+EvictionBuffer.__snapshot_state__ = "__all__"

@@ -377,3 +377,9 @@ class GarbageCollector:
                 self.region.begin_gc(block, now_ns)
                 self.region.reclaim(block, now_ns)
         return latest
+
+
+# -- snapshot declarations ----------------------------------------------------
+GCPassReport.__snapshot_state__ = "__atoms__"
+GCStats.__snapshot_state__ = "__all__"
+GarbageCollector.__snapshot_state__ = "__all__"

@@ -238,3 +238,11 @@ class MappingTable:
         self._lines.clear()
         self._condensed.clear()
         self._entries = 0
+
+
+# -- snapshot declarations ----------------------------------------------------
+# OOPLocation is a NamedTuple of scalars: atom-shared (one lives per
+# mapped word, so skipping the per-object engine call matters).
+OOPLocation.__snapshot_state__ = "__atom__"
+MappingStats.__snapshot_state__ = "__atoms__"
+MappingTable.__snapshot_state__ = "__all__"

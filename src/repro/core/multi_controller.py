@@ -325,3 +325,6 @@ class MultiControllerHoopScheme(PersistenceScheme):
                 except CorruptionError:
                     continue
         return pages
+
+# -- snapshot declarations ----------------------------------------------------
+MultiControllerHoopScheme.__snapshot_state__ = "__all__"

@@ -253,3 +253,12 @@ class OOPDataBuffer:
     def crash(self) -> None:
         """All buffered (uncommitted) words are lost with power."""
         self._cores = [_CoreEntry() for _ in range(self.config.num_cores)]
+
+
+# -- snapshot declarations ----------------------------------------------------
+# _CoreEntry's pending dict / segments list are deep-cloned; the buffer's
+# _on_slice_written bound method is re-bound to the cloned controller by
+# the engine's method handler.
+_CoreEntry.__snapshot_state__ = "__all__"
+BufferStats.__snapshot_state__ = "__atoms__"
+OOPDataBuffer.__snapshot_state__ = "__all__"

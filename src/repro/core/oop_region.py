@@ -383,3 +383,8 @@ class OOPRegion:
         self._active = {"data": None, "addr": None}
         self._cursor = {"data": 0, "addr": 0}
         self._block_stream.clear()
+
+
+# -- snapshot declarations ----------------------------------------------------
+RegionStats.__snapshot_state__ = "__atoms__"
+OOPRegion.__snapshot_state__ = "__all__"

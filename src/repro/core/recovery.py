@@ -80,6 +80,8 @@ class RecoveryManager:
         self.codec = codec
         self.commit_log = commit_log
         self.port = port
+        # Whole-block read cache, alive for one recover() pass only.
+        self._block_cache: Dict[int, bytes] = {}
 
     # -- the functional pass ---------------------------------------------------
 
@@ -105,6 +107,11 @@ class RecoveryManager:
         bandwidth = bandwidth_gb_per_s or self.config.nvm.bandwidth_gb_per_s
         report = RecoveryReport(threads=threads, bandwidth_gb_per_s=bandwidth)
         device = self.port.device
+        # One whole-block peek per touched block instead of a 128-byte
+        # peek per slice: recovery only reads the region until step 5
+        # writes the *home* region, so a per-pass cache is safe, and
+        # peek() has no timing/stats side effects to distort.
+        self._block_cache = {}
 
         # Step 1: block headers, then commit-log pages.
         self.region.rebuild_from_nvm()
@@ -115,18 +122,26 @@ class RecoveryManager:
         ]
         report.bytes_scanned += len(busy_blocks) * SLICE_BYTES  # headers
         pages = []
+        slots_per_block = self.region.slots_per_block
         for block in busy_blocks:
             if self.region.stream_of(block) != "addr":
                 continue
-            for slice_index in self.region.iter_block_slices(block):
-                raw = device.peek(
-                    self.region.slice_addr(slice_index), SLICE_BYTES
-                )
-                report.bytes_scanned += SLICE_BYTES
-                if SliceCodec.kind_of(raw) != KIND_ADDR:
+            # Whole-block scan on the cached buffer: the per-slot slice
+            # offsets are linear, so no per-slice index math is needed.
+            buf = self._block_buf(block)
+            base_index = block * slots_per_block
+            report.bytes_scanned += slots_per_block * SLICE_BYTES
+            offset = SLICE_BYTES
+            for slot in range(slots_per_block):
+                raw = buf[offset : offset + SLICE_BYTES]
+                offset += SLICE_BYTES
+                # Inline kind_of: block buffers are exact slice multiples.
+                if raw[-1] & 0xF != KIND_ADDR:
                     continue
                 try:
-                    pages.append((slice_index, self.codec.decode_addr(raw)))
+                    pages.append(
+                        (base_index + slot, self.codec.decode_addr(raw))
+                    )
                 except CorruptionError:
                     continue  # torn commit-log rewrite: newest entry lost
         self.commit_log.rebuild(pages)
@@ -152,12 +167,14 @@ class RecoveryManager:
             if self.region.stream_of(block) != "data":
                 continue
             generation = self.region.generation_of(block)
-            for slice_index in self.region.iter_block_slices(block):
-                raw = device.peek(
-                    self.region.slice_addr(slice_index), SLICE_BYTES
-                )
-                report.bytes_scanned += SLICE_BYTES
-                if SliceCodec.kind_of(raw) != KIND_DATA:
+            buf = self._block_buf(block)
+            base_index = block * slots_per_block
+            report.bytes_scanned += slots_per_block * SLICE_BYTES
+            offset = SLICE_BYTES
+            for slot in range(slots_per_block):
+                raw = buf[offset : offset + SLICE_BYTES]
+                offset += SLICE_BYTES
+                if raw[-1] & 0xF != KIND_DATA:
                     continue
                 try:
                     ds = self.codec.decode_data(raw)
@@ -170,6 +187,7 @@ class RecoveryManager:
                     or ds.tx_id in finalized
                 ):
                     continue
+                slice_index = base_index + slot
                 segments = open_segments.get(ds.tx_id, []) + [slice_index]
                 committed.append(
                     CommittedTx(ds.tx_id, tuple(segments))
@@ -224,20 +242,38 @@ class RecoveryManager:
         if clear_region:
             self.region.clear(0.0)
             self.commit_log.clear()
+        self._block_cache = {}
 
         self._apply_time_model(report, merge_ops)
         return report
 
+    def _block_buf(self, block: int) -> bytes:
+        """A whole block's bytes, via the per-pass cache."""
+        buf = self._block_cache.get(block)
+        if buf is None:
+            region = self.region
+            buf = self.port.device.peek(
+                region.block_base(block), region.block_bytes
+            )
+            self._block_cache[block] = buf
+        return buf
+
+    def _slice_raw(self, slice_index: int) -> bytes:
+        """A region slice's bytes, via the per-pass whole-block cache."""
+        block, slot = divmod(slice_index, self.region.slots_per_block)
+        buf = self._block_buf(block)
+        offset = (slot + 1) * SLICE_BYTES  # slot 0 follows the header slice
+        return buf[offset : offset + SLICE_BYTES]
+
     def _walk_tx(self, tx: CommittedTx) -> Tuple[List[Tuple[int, bytes]], int]:
         """All words of a transaction in store order (oldest first)."""
-        device = self.port.device
         total = self.region.num_blocks * self.region.slots_per_block
         newest_first: List[Tuple[int, bytes]] = []
         slices = 0
         for tail in reversed(tx.segment_tails):
             cursor: Optional[int] = tail
             while cursor is not None:
-                raw = device.peek(self.region.slice_addr(cursor), SLICE_BYTES)
+                raw = self._slice_raw(cursor)
                 slices += 1
                 try:
                     ds = self.codec.decode_data(raw)
@@ -286,3 +322,8 @@ class RecoveryManager:
         write_rate = min(bw, threads * per_thread_write)
         if report.bytes_written:
             report.write_time_ns = report.bytes_written / write_rate
+
+
+# -- snapshot declarations ----------------------------------------------------
+RecoveryReport.__snapshot_state__ = "__all__"
+RecoveryManager.__snapshot_state__ = "__all__"

@@ -180,6 +180,11 @@ class SliceCodec:
         self._entry_bits = _TXID_BITS + 34 + 2
         payload_bits = (SLICE_BYTES - 1 - 7) * 8
         self.entries_per_addr_slice = payload_bits // self._entry_bits
+        # decode_data memo: the decode is a pure function of the raw
+        # bytes and DataSlice is frozen, so identical slices (recovery
+        # replays of the same region content, GC re-walks) share one
+        # decode.  Corrupt slices cache their message as a str.
+        self._decode_cache: dict = {}
 
     @classmethod
     def for_home_bits(cls, home_addr_bits: int) -> "SliceCodec":
@@ -236,6 +241,28 @@ class SliceCodec:
 
     def decode_data(self, raw: bytes) -> DataSlice:
         """Decode 128 bytes into a data slice; raises on corruption."""
+        if type(raw) is not bytes:
+            raw = bytes(raw)
+        cached = self._decode_cache.get(raw)
+        if cached is not None:
+            if type(cached) is str:
+                raise CorruptionError(cached)
+            return cached
+        try:
+            ds = self._decode_data_uncached(raw)
+        except CorruptionError as exc:
+            self._cache_put(raw, str(exc))
+            raise
+        self._cache_put(raw, ds)
+        return ds
+
+    def _cache_put(self, raw: bytes, value) -> None:
+        cache = self._decode_cache
+        if len(cache) >= 32768:  # bound footprint on long-lived codecs
+            cache.clear()
+        cache[raw] = value
+
+    def _decode_data_uncached(self, raw: bytes) -> DataSlice:
         if len(raw) != SLICE_BYTES:
             raise CorruptionError(f"slice must be {SLICE_BYTES} bytes")
         if raw[-1] & 0xF != KIND_DATA:
@@ -334,3 +361,12 @@ class SliceCodec:
         if len(raw) != SLICE_BYTES:
             raise CorruptionError(f"slice must be {SLICE_BYTES} bytes")
         return raw[-1] & 0xF
+
+
+# -- snapshot declarations ----------------------------------------------------
+# DataSlice / AddressSliceEntry are frozen; the codec is stateless after
+# construction.  AddressSlice owns a mutable entries list.
+DataSlice.__snapshot_state__ = "__atom__"
+AddressSliceEntry.__snapshot_state__ = "__atom__"
+AddressSlice.__snapshot_state__ = "__all__"
+SliceCodec.__snapshot_state__ = "__shared__"

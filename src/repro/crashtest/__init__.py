@@ -29,12 +29,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import replace as _dc_replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import FaultConfig, SystemConfig
 from repro.common.errors import PowerLossError
 from repro.faults.plan import CrashArtifact, save_artifact
+from repro.snapshot import capture, checkpoint_cadence, snapshots_enabled
+from repro.snapshot.replay import Checkpoint, CheckpointChain
 from repro.txn.system import MemorySystem
+
+# One recorded workload transaction: issuing core plus its ordered
+# (addr, value) stores, duplicates preserved — everything a replay needs
+# to re-execute the transaction without consuming workload RNG.
+TxnRecord = Tuple[int, List[Tuple[int, bytes]]]
 
 # The sweep's scheme vocabulary.  Keys are the CLI names (the paper's
 # shorthand); values are registry names in repro.schemes.
@@ -173,6 +181,21 @@ def verify_atomic_durability(
     words whose staged value actually differs from the pre-crash
     committed value, since identical values are unobservable.
     """
+    # Line-cached durable reads: the oracle's words cluster on a few
+    # cache lines, so one 64-byte peek serves eight word checks.
+    # Nothing writes between the checks, so the cache cannot go stale.
+    peek = system.device.peek
+    lines: Dict[int, bytes] = {}
+
+    def durable_word(addr: int) -> bytes:
+        base = addr & ~63
+        buf = lines.get(base)
+        if buf is None:
+            buf = peek(base, 64)
+            lines[base] = buf
+        offset = addr - base
+        return buf[offset : offset + 8]
+
     changed = {
         addr: value
         for addr, value in staged.items()
@@ -181,7 +204,7 @@ def verify_atomic_durability(
     applied = [
         addr
         for addr, value in changed.items()
-        if system.durable_state(addr, 8) == value
+        if durable_word(addr) == value
     ]
     if changed and 0 < len(applied) < len(changed):
         return (
@@ -194,7 +217,7 @@ def verify_atomic_durability(
         expect = value
         if inflight_committed and addr in staged:
             expect = staged[addr]
-        if system.durable_state(addr, 8) != expect:
+        if durable_word(addr) != expect:
             stale.append(addr)
     if stale:
         return (
@@ -204,20 +227,19 @@ def verify_atomic_durability(
     return None
 
 
-def run_case(
-    scheme: str,
+def _finish_case(
+    system: MemorySystem,
     faults: FaultConfig,
-    *,
-    seed: int,
-    transactions: int,
-    addresses: int,
-    recovery_threads: int = 2,
+    outcome: RunOutcome,
+    recovery_threads: int,
 ) -> CaseResult:
-    """One full cycle: workload under faults, crash, recover, verify."""
-    system = _build_system(scheme, faults)
-    outcome = run_workload(
-        system, seed=seed, transactions=transactions, addresses=addresses
-    )
+    """Shared verdict tail: crash, recover, verify, fingerprint.
+
+    Both the cold path (:func:`run_case`) and the incremental path
+    (:func:`_run_case_incremental`) end here, so their verdicts are
+    computed by the same code — a bit-identity requirement, not just
+    deduplication.
+    """
     system.crash()
     report = system.recover(threads=recovery_threads)
     failure = verify_atomic_durability(
@@ -233,6 +255,129 @@ def run_case(
         fingerprint=system.device.content_fingerprint(),
         committed=committed,
     )
+
+
+def run_case(
+    scheme: str,
+    faults: FaultConfig,
+    *,
+    seed: int,
+    transactions: int,
+    addresses: int,
+    recovery_threads: int = 2,
+) -> CaseResult:
+    """One full cold cycle: workload under faults, crash, recover, verify."""
+    system = _build_system(scheme, faults)
+    outcome = run_workload(
+        system, seed=seed, transactions=transactions, addresses=addresses
+    )
+    return _finish_case(system, faults, outcome, recovery_threads)
+
+
+def _probe_and_checkpoint(
+    scheme: str,
+    *,
+    seed: int,
+    transactions: int,
+    addresses: int,
+    cadence: int,
+) -> Tuple[int, List[TxnRecord], CheckpointChain]:
+    """One probe run that also records the workload and lays checkpoints.
+
+    Replicates :func:`run_workload`'s RNG call order exactly (same
+    ``randrange``/``randint``/``choice``/``getrandbits`` sequence), so
+    the recorded transactions are byte-for-byte what an armed rerun
+    would execute, and the unarmed device's write counter matches the
+    armed runs write-for-write.  A checkpoint is captured *before*
+    every ``cadence``-th transaction, carrying the committed-word
+    oracle at that point.
+    """
+    system = _build_system(scheme, FaultConfig(enabled=True, seed=seed))
+    rng = random.Random(seed)
+    addrs = [system.allocate(64) for _ in range(addresses)]
+    cores = system.config.num_cores
+    chain = CheckpointChain()
+    oracle: Dict[int, bytes] = {}
+    txns: List[TxnRecord] = []
+    for index in range(transactions):
+        if index % cadence == 0:
+            chain.add(
+                Checkpoint(
+                    index,
+                    system.device.stats.writes,
+                    capture(system, txn_index=index),
+                    dict(oracle),
+                )
+            )
+        core = rng.randrange(cores)
+        stores: List[Tuple[int, bytes]] = []
+        with system.transaction(core) as tx:
+            for _ in range(rng.randint(1, 6)):
+                addr = rng.choice(addrs) + 8 * rng.randrange(8)
+                value = rng.getrandbits(64).to_bytes(8, "little")
+                tx.store(addr, value)
+                stores.append((addr, value))
+        # dict() collapses duplicate addresses last-wins, exactly like
+        # run_workload's staged dict.
+        oracle.update(dict(stores))
+        txns.append((core, stores))
+    return system.device.stats.writes, txns, chain
+
+
+def _run_case_incremental(
+    scheme: str,
+    faults: FaultConfig,
+    *,
+    boundary: int,
+    chain: CheckpointChain,
+    txns: List[TxnRecord],
+    seed: int,
+    transactions: int,
+    addresses: int,
+    recovery_threads: int,
+) -> CaseResult:
+    """One crash case starting from the nearest checkpoint <= boundary.
+
+    The restored system gets a fresh injector armed with the *residual*
+    write budget (``boundary - checkpoint.writes``; zero means the very
+    next write dies), then replays the recorded transaction suffix —
+    mirroring :func:`run_workload`'s staged/oracle bookkeeping — and
+    finishes through the shared verdict tail.  Falls back to the cold
+    :func:`run_case` when no checkpoint precedes the boundary.
+    """
+    checkpoint = chain.nearest(boundary)
+    if checkpoint is None:
+        return run_case(
+            scheme,
+            faults,
+            seed=seed,
+            transactions=transactions,
+            addresses=addresses,
+            recovery_threads=recovery_threads,
+        )
+    system = checkpoint.snapshot.restore()
+    system.device.rearm(
+        _dc_replace(
+            faults, power_loss_after_write=boundary - checkpoint.writes
+        )
+    )
+    oracle = dict(checkpoint.oracle)
+    staged: Dict[int, bytes] = {}
+    try:
+        for core, stores in txns[checkpoint.txn_index :]:
+            staged = {}
+            with system.transaction(core) as tx:
+                for addr, value in stores:
+                    tx.store(addr, value)
+                    staged[addr] = value
+            oracle.update(staged)
+            staged = {}
+        outcome = RunOutcome(oracle, {}, False, system.device.stats.writes)
+    except PowerLossError:
+        outcome = RunOutcome(
+            oracle, staged, True, system.device.stats.writes
+        )
+    return _finish_case(system, faults, outcome, recovery_threads)
 
 
 def choose_boundaries(
@@ -272,12 +417,36 @@ def sweep_scheme(
     torn_mode: str = "alternate",
     recovery_threads: int = 2,
     artifact_dir: Optional[str] = None,
+    cadence: Optional[int] = None,
     progress=None,
 ) -> SweepResult:
-    """Sweep one scheme across crash boundaries; returns all cases."""
-    total = count_write_boundaries(
-        scheme, seed=seed, transactions=transactions, addresses=addresses
-    )
+    """Sweep one scheme across crash boundaries; returns all cases.
+
+    By default the sweep is *incremental*: the probe run doubles as a
+    recorder, laying a snapshot checkpoint every ``cadence``
+    transactions (default ``transactions // 20``, overridable via
+    ``REPRO_SNAPSHOT_CADENCE``), and each boundary replays only from
+    the nearest checkpoint.  ``REPRO_SNAPSHOT_DISABLE=1`` falls back to
+    the original cold rerun per boundary; per-boundary verdicts are
+    bit-identical either way.
+    """
+    incremental = snapshots_enabled()
+    txns: List[TxnRecord] = []
+    chain = CheckpointChain()
+    if incremental:
+        if cadence is None:
+            cadence = checkpoint_cadence(max(1, transactions // 20))
+        total, txns, chain = _probe_and_checkpoint(
+            scheme,
+            seed=seed,
+            transactions=transactions,
+            addresses=addresses,
+            cadence=cadence,
+        )
+    else:
+        total = count_write_boundaries(
+            scheme, seed=seed, transactions=transactions, addresses=addresses
+        )
     boundaries = choose_boundaries(total, sample, seed)
     result = SweepResult(
         scheme=scheme, total_writes=total, boundaries=boundaries
@@ -289,14 +458,27 @@ def sweep_scheme(
             power_loss_after_write=boundary,
             torn=_torn_for(boundary, torn_mode),
         )
-        case = run_case(
-            scheme,
-            faults,
-            seed=seed,
-            transactions=transactions,
-            addresses=addresses,
-            recovery_threads=recovery_threads,
-        )
+        if incremental:
+            case = _run_case_incremental(
+                scheme,
+                faults,
+                boundary=boundary,
+                chain=chain,
+                txns=txns,
+                seed=seed,
+                transactions=transactions,
+                addresses=addresses,
+                recovery_threads=recovery_threads,
+            )
+        else:
+            case = run_case(
+                scheme,
+                faults,
+                seed=seed,
+                transactions=transactions,
+                addresses=addresses,
+                recovery_threads=recovery_threads,
+            )
         result.cases.append(case)
         if case.failure and artifact_dir:
             artifact = CrashArtifact(

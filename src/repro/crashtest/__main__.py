@@ -21,6 +21,22 @@ from repro import crashtest
 from repro.faults.plan import load_artifact
 
 
+def _dump_profile(profiler, args) -> str:
+    """Write the sweep's cProfile stats under the artifact directory."""
+    import io
+    import pathlib
+    import pstats
+
+    out_dir = pathlib.Path(args.artifact_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out = out_dir / "crashtest_profile.txt"
+    text = io.StringIO()
+    stats = pstats.Stats(profiler, stream=text)
+    stats.sort_stats("cumulative").print_stats(40)
+    out.write_text(text.getvalue())
+    return str(out)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.crashtest",
@@ -57,6 +73,16 @@ def main(argv=None) -> int:
         "--replay", metavar="ARTIFACT",
         help="replay one saved artifact instead of sweeping",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the sweep; top functions by cumulative time are"
+        " written to <artifact-dir>/crashtest_profile.txt",
+    )
+    parser.add_argument(
+        "--verdicts", metavar="PATH",
+        help="write per-boundary verdicts as JSON (for diffing sweep"
+        " modes, e.g. snapshot-incremental vs cold)",
+    )
     args = parser.parse_args(argv)
 
     if args.replay:
@@ -82,6 +108,13 @@ def main(argv=None) -> int:
     schemes = crashtest.resolve_schemes(args.schemes)
     any_failures = False
     grand_cases = 0
+    verdicts = {}
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     started = time.time()
     for scheme in schemes:
         t0 = time.time()
@@ -99,11 +132,31 @@ def main(argv=None) -> int:
         grand_cases += len(result.cases)
         failures = result.failures
         any_failures = any_failures or bool(failures)
+        if args.verdicts:
+            verdicts[scheme] = {
+                "total_writes": result.total_writes,
+                "cases": [
+                    [c.boundary, c.torn, c.failure, c.fingerprint,
+                     c.committed]
+                    for c in result.cases
+                ],
+            }
         print(
             f"[crashtest] {scheme}: {len(result.cases)} boundaries of "
             f"{result.total_writes} writes, {len(failures)} failures "
             f"({time.time() - t0:.1f}s)"
         )
+    if profiler is not None:
+        profiler.disable()
+        print(f"[crashtest] profile -> {_dump_profile(profiler, args)}")
+    if args.verdicts:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.verdicts)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(verdicts, indent=1, sort_keys=True))
+        print(f"[crashtest] verdicts -> {path}")
     print(
         f"[crashtest] total: {grand_cases} cases across "
         f"{len(schemes)} schemes in {time.time() - started:.1f}s"

@@ -50,6 +50,8 @@ _WRITE_DEAD = 2  # power already lost
 class FaultStats:
     """Observable outcome counters of one injector (reset never)."""
 
+    __snapshot_state__ = "__atoms__"
+
     power_cuts: int = 0  # fatal writes (power-loss instants)
     writes_lost: int = 0  # writes refused because power was out
     torn_writes: int = 0
@@ -64,6 +66,11 @@ class FaultStats:
 
 class FaultInjector:
     """All mutable fault state for one :class:`FaultyNVMDevice`."""
+
+    # Snapshots deep-clone everything: the armed power-loss budgets and
+    # the PRNG stream are plain attributes, so a snapshot captured
+    # mid-fault replays the same remaining-writes countdown.
+    __snapshot_state__ = "__all__"
 
     def __init__(self, config: FaultConfig) -> None:
         self.config = config
@@ -289,6 +296,14 @@ class FaultyNVMDevice(NVMDevice):
     # -- functional plane ---------------------------------------------------------
 
     def peek(self, addr: int, size: int) -> bytes:
+        if not self._remap:
+            # No remapped blocks: translation is the identity and the
+            # slow path has no other side effects — delegate directly.
+            # (Recovery issues hundreds of small peeks per crash case;
+            # this wrapper is measurable.)
+            if addr < 0 or size <= 0 or addr + size > self._visible_capacity:
+                self._check_visible(addr, size)
+            return NVMDevice.peek(self, addr, size)
         self._check_visible(addr, size)
         segments = self._translate(addr, size)
         if len(segments) == 1:
@@ -298,6 +313,22 @@ class FaultyNVMDevice(NVMDevice):
         )
 
     def poke(self, addr: int, data: bytes) -> None:
+        injector = self.injector
+        if (
+            injector._poke_budget is None
+            and not injector._power_lost
+            and not self._remap
+            and not self._stuck
+        ):
+            # Healthy device, no poke budget armed: on_poke() would
+            # return OK without touching stats, translation is the
+            # identity, and no stuck block can trigger — bit-identical
+            # to the slow path, minus its call overhead.
+            size = max(1, len(data))
+            if addr < 0 or addr + size > self._visible_capacity:
+                self._check_visible(addr, size)
+            NVMDevice.poke(self, addr, data)
+            return
         self._check_visible(addr, max(1, len(data)))
         verdict = self.injector.on_poke()
         if verdict == _WRITE_DEAD:
@@ -314,6 +345,13 @@ class FaultyNVMDevice(NVMDevice):
     # -- timed plane --------------------------------------------------------------
 
     def read(self, addr: int, size: int, now_ns: float = 0.0):
+        if not self._remap and self.faults.read_error_rate == 0.0:
+            # Identity translation and read_faults() short-circuits at
+            # rate 0.0 without consuming the PRNG — delegating straight
+            # to the base class is bit-identical.
+            if addr < 0 or size <= 0 or addr + size > self._visible_capacity:
+                self._check_visible(addr, size)
+            return NVMDevice.read(self, addr, size, now_ns)
         self._check_visible(addr, size)
         segments = self._translate(addr, size)
         if len(segments) == 1:
@@ -355,8 +393,13 @@ class FaultyNVMDevice(NVMDevice):
         if not data:
             return AccessResult(now_ns, now_ns, True)
         size = len(data)
-        self._check_visible(addr, size)
+        if addr < 0 or addr + size > self._visible_capacity:
+            self._check_visible(addr, size)
         verdict = self.injector.on_timed_write()
+        if verdict == _WRITE_OK and not self._stuck and not self._remap:
+            # Healthy path: no stuck block to remap, identity translation
+            # and no remap penalty — the base-class write is equivalent.
+            return NVMDevice.write(self, addr, data, now_ns, queued=queued)
         if verdict == _WRITE_DEAD:
             raise PowerLossError("write after power loss")
         remapped_before = len(self._remap)
@@ -438,6 +481,22 @@ class FaultyNVMDevice(NVMDevice):
 
     def restore_power(self) -> None:
         self.injector.restore_power()
+
+    def rearm(self, faults: FaultConfig) -> None:
+        """Install a fresh fault plan on a restored snapshot.
+
+        The incremental crash sweep restores a checkpoint taken with an
+        *unarmed* injector and then arms the residual write budget for
+        one boundary.  A fresh :class:`FaultInjector` (fresh PRNG seeded
+        from ``faults.seed``) makes the replay bit-identical to a cold
+        run with that config, because the cold injector's PRNG is
+        untouched until the cut.  Device geometry (spare layout, fault
+        block size) is fixed at construction and must match; the remap
+        table is physical state and survives, like ``restore_power``.
+        """
+        self.faults = faults
+        self.injector = FaultInjector(faults)
+        self._stuck = set(faults.stuck_blocks)
 
     @property
     def fault_stats(self) -> FaultStats:

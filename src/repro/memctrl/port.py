@@ -193,3 +193,8 @@ class MemoryPort:
 
     def reset_stats(self) -> None:
         self.stats = PortStats()
+
+
+# -- snapshot declarations ----------------------------------------------------
+PortStats.__snapshot_state__ = "__atoms__"
+MemoryPort.__snapshot_state__ = "__all__"

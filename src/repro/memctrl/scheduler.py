@@ -52,3 +52,7 @@ class PeriodicTrigger:
     @property
     def next_fire_ns(self) -> float:
         return self._next_fire_ns
+
+
+# -- snapshot declarations ----------------------------------------------------
+PeriodicTrigger.__snapshot_state__ = "__atoms__"

@@ -69,6 +69,10 @@ class CacheLevel:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Sticky marker: did insert() ever store a real LineFlags (vs
+        # the shared _TAG)?  Tag-only levels (L1/L2) clone by pure
+        # C-level bucket copies with no per-line fixups.
+        self._has_flags = False
 
     def _set_index(self, line_addr: int) -> int:
         if self._set_mask >= 0:
@@ -125,6 +129,7 @@ class CacheLevel:
             index = (line_addr >> self._shift) & mask
         else:
             index = (line_addr // self._line_size) % self._num_sets
+        self._has_flags = True
         bucket = self._sets[index]
         if line_addr in bucket:
             bucket.move_to_end(line_addr)
@@ -196,3 +201,50 @@ class CacheLevel:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    # -- snapshots -------------------------------------------------------------
+
+    def __snapshot_clone__(self, memo: dict, clone) -> "CacheLevel":
+        """Hand-rolled clone for :mod:`repro.snapshot`.
+
+        The tag store is hundreds of small OrderedDict buckets whose
+        values are either the shared ``_TAG`` marker or 3-field
+        LineFlags records; rebuilding them inline (with memo entries so
+        the hierarchy's flag index keeps aliasing the same LineFlags
+        clones) is several times cheaper than generic engine dispatch
+        per bucket and per flags object.
+        """
+        cls = self.__class__
+        out = cls.__new__(cls)
+        memo[id(self)] = out
+        out.__dict__.update(self.__dict__)
+        # C-level copies (shares values, keeps LRU order); tag-only
+        # levels (never saw a real LineFlags) are done right there.
+        new_sets = {
+            index: bucket.copy() for index, bucket in self._sets.items()
+        }
+        out._sets = new_sets
+        if self._has_flags:
+            # Swap real flag records for their memoized twins so the
+            # hierarchy's flag index keeps aliasing the same clones.
+            for fresh in new_sets.values():
+                for addr, flags in fresh.items():
+                    if flags is not _TAG:
+                        twin = memo.get(id(flags))
+                        if twin is None:
+                            twin = LineFlags(
+                                flags.dirty, flags.persistent, flags.tx_id
+                            )
+                            memo[id(flags)] = twin
+                        fresh[addr] = twin
+        return out
+
+
+# -- snapshot declarations ----------------------------------------------------
+# LineFlags fields are scalars; the memo makes every bucket that shares a
+# flags object (LLC set + hierarchy flag index, or the _TAG presence
+# marker) share the single clone, preserving aliasing.  CacheLevel
+# itself clones through __snapshot_clone__ above.
+LineFlags.__snapshot_state__ = "__atoms__"
+EvictedLine.__snapshot_state__ = "__shared__"
+CacheLevel.__snapshot_state__ = "__all__"

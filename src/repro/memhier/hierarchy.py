@@ -88,6 +88,11 @@ class CacheHierarchy:
         self._private_levels = self._l1 + self._l2
         self._llc = CacheLevel(config.llc)
         self._data: Dict[int, bytearray] = {}
+        # Line buffers shared copy-on-write with snapshots: a member is
+        # a line whose bytearray is aliased by at least one snapshot and
+        # must be copied before the next in-place store.  Empty except
+        # between a snapshot capture and the first store to the line.
+        self._data_cow: set = set()
         # Flags mirror: same keys as _data, pointing at the LineFlags
         # objects stored in the LLC tag array.  Lets load/store reach a
         # line's flags by one dict probe instead of a set-associative
@@ -349,6 +354,11 @@ class CacheHierarchy:
         else:
             outcome = self._miss_resident(core, line, now_ns)
         offset = addr - line
+        cow = self._data_cow
+        if cow and line in cow:
+            # Line buffer is aliased by a snapshot: copy before writing.
+            self._data[line] = bytearray(self._data[line])
+            cow.discard(line)
         self._data[line][offset : offset + len(data)] = data
         # The flags mirror shares keys with _data, so the line is always
         # present after residency is ensured.
@@ -418,6 +428,7 @@ class CacheHierarchy:
     def crash(self) -> None:
         """Power failure: every volatile line vanishes."""
         self._data.clear()
+        self._data_cow.clear()
         self._flags.clear()
         self._llc.clear()
         for level in self._l1:
@@ -436,3 +447,39 @@ class CacheHierarchy:
             level.reset_stats()
         for level in self._l2:
             level.reset_stats()
+
+    # -- snapshots -------------------------------------------------------------
+
+    def __snapshot_clone__(self, memo: dict, clone) -> "CacheHierarchy":
+        """Clone with copy-on-write line buffers.
+
+        Every other attribute goes through the engine, but ``_data`` —
+        one 64-byte bytearray per resident LLC line, the bulk of the
+        hierarchy's mutable bytes — is shared: both sides mark every
+        line in their ``_data_cow`` set and :meth:`store` copies a
+        buffer on the first in-place write.  Rebinding sites (LLC fill,
+        invalidation pops) never mutate a shared buffer, so they need
+        no guard.
+        """
+        cls = self.__class__
+        out = cls.__new__(cls)
+        memo[id(self)] = out
+        nd = out.__dict__
+        for key, value in self.__dict__.items():
+            if key == "_data":
+                shared = dict(value)
+                memo[id(value)] = shared
+                nd[key] = shared
+            elif key == "_data_cow":
+                continue  # each side gets its own set, below
+            else:
+                nd[key] = clone(value)
+        self._data_cow.update(self._data.keys())
+        out._data_cow = set(self._data.keys())
+        return out
+
+
+# -- snapshot declarations ----------------------------------------------------
+HierarchyStats.__snapshot_state__ = "__atoms__"
+CacheHierarchy.__snapshot_state__ = "__all__"
+AccessOutcome.__snapshot_state__ = "__atom__"

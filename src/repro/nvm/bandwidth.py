@@ -175,3 +175,8 @@ class ChannelModel:
     def reset(self) -> None:
         """Clear statistics (measurement boundaries keep queue state)."""
         self.stats = ChannelStats()
+
+
+# -- snapshot declarations ----------------------------------------------------
+ChannelStats.__snapshot_state__ = "__atoms__"
+ChannelModel.__snapshot_state__ = "__all__"

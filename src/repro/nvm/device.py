@@ -43,6 +43,8 @@ class AccessResult(NamedTuple):
 class DeviceStats:
     """Aggregate functional counters."""
 
+    __snapshot_state__ = "__atoms__"
+
     reads: int = 0
     writes: int = 0
     bytes_read: int = 0
@@ -66,6 +68,10 @@ class NVMDevice:
         self._read_latency_ns = self.config.read_latency_ns
         self._write_latency_ns = self.config.write_latency_ns
         self._pages: Dict[int, bytearray] = {}
+        # Pages shared copy-on-write with one or more snapshots: a write
+        # to a member must clone the page first (repro.snapshot).  Empty
+        # (one cheap set miss per write) until a snapshot is captured.
+        self._cow_shared: set = set()
         self.channel = ChannelModel(self.config.bandwidth_gb_per_s)
         self.energy = EnergyMeter(self.config.energy)
         self.wear = WearTracker(wear_block_bytes)
@@ -130,6 +136,10 @@ class NVMDevice:
             if page is None:
                 page = bytearray(_PAGE)
                 self._pages[page_base] = page
+            elif page_base in self._cow_shared:
+                page = bytearray(page)
+                self._pages[page_base] = page
+                self._cow_shared.discard(page_base)
             offset = addr - page_base
             page[offset : offset + size] = data
             return
@@ -144,6 +154,10 @@ class NVMDevice:
             if page is None:
                 page = bytearray(_PAGE)
                 self._pages[page_base] = page
+            elif page_base in self._cow_shared:
+                page = bytearray(page)
+                self._pages[page_base] = page
+                self._cow_shared.discard(page_base)
             page[offset : offset + chunk] = data[consumed : consumed + chunk]
             cursor += chunk
             consumed += chunk
@@ -213,6 +227,10 @@ class NVMDevice:
             if page is None:
                 page = bytearray(_PAGE)
                 self._pages[page_base] = page
+            elif page_base in self._cow_shared:
+                page = bytearray(page)
+                self._pages[page_base] = page
+                self._cow_shared.discard(page_base)
             offset = addr - page_base
             page[offset : offset + size] = data
         else:
@@ -264,6 +282,32 @@ class NVMDevice:
         if sizes:
             self.channel.write_queued_many(now_ns, sizes)
 
+    # -- snapshots ---------------------------------------------------------------
+
+    def __snapshot_clone__(self, memo: dict, clone) -> "NVMDevice":
+        """Copy-on-write clone hook for :mod:`repro.snapshot`.
+
+        Sparse pages are *shared* between source and clone; both sides
+        mark every current page COW-shared, and the write paths clone a
+        shared page before its first mutation.  Everything else (stats,
+        channel, energy, wear, fault state in the subclass) is cloned
+        through the engine, which preserves aliases like
+        ``_wear_writes is wear._writes`` via the shared memo.
+        """
+        cls = self.__class__
+        out = cls.__new__(cls)
+        memo[id(self)] = out
+        self._cow_shared.update(self._pages.keys())
+        out_dict = out.__dict__
+        for key, value in self.__dict__.items():
+            if key == "_pages":
+                out_dict[key] = dict(value)
+            elif key == "_cow_shared":
+                out_dict[key] = set(self._pages.keys())
+            else:
+                out_dict[key] = clone(value)
+        return out
+
     # -- bookkeeping -----------------------------------------------------------
 
     def restore_power(self) -> None:
@@ -310,4 +354,8 @@ class NVMDevice:
     def clear(self) -> None:
         """Erase content and counters (fresh device)."""
         self._pages.clear()
+        self._cow_shared.clear()
         self.reset_stats()
+
+# AccessResult is a frozen timing record (floats/bool) — atom-shared.
+AccessResult.__snapshot_state__ = "__atom__"

@@ -74,3 +74,7 @@ class EnergyMeter:
             "write_pj": self.write_pj,
             "total_pj": self.total_pj,
         }
+
+
+# -- snapshot declarations ----------------------------------------------------
+EnergyMeter.__snapshot_state__ = "__all__"

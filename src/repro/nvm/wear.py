@@ -68,3 +68,7 @@ class WearTracker:
 
     def reset(self) -> None:
         self._writes.clear()
+
+
+# -- snapshot declarations ----------------------------------------------------
+WearTracker.__snapshot_state__ = "__all__"

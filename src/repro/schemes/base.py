@@ -205,3 +205,9 @@ class PersistenceScheme(abc.ABC):
         self.device.reset_stats()
         self.port.reset_stats()
         self.stats = SchemeStats()
+
+# -- snapshot declarations ----------------------------------------------------
+SchemeTraits.__snapshot_state__ = "__shared__"
+RecoveryOutcome.__snapshot_state__ = "__atoms__"
+SchemeStats.__snapshot_state__ = "__atoms__"
+PersistenceScheme.__snapshot_state__ = "__all__"

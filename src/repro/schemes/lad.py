@@ -196,3 +196,6 @@ class LADScheme(PersistenceScheme):
     ) -> RecoveryOutcome:
         """Nothing to replay: commits were in place and domain-protected."""
         return RecoveryOutcome(scheme=self.name)
+
+# -- snapshot declarations ----------------------------------------------------
+LADScheme.__snapshot_state__ = "__all__"

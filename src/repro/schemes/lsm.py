@@ -288,3 +288,6 @@ class LSMScheme(PersistenceScheme):
             outcome.bytes_scanned + outcome.bytes_written
         ) / max(bytes_per_ns, 1e-9)
         return outcome
+
+# -- snapshot declarations ----------------------------------------------------
+LSMScheme.__snapshot_state__ = "__all__"

@@ -72,3 +72,6 @@ class NativeScheme(PersistenceScheme):
     ):
         """Nothing to recover: whatever reached NVM is what you get."""
         return None
+
+# -- snapshot declarations ----------------------------------------------------
+NativeScheme.__snapshot_state__ = "__all__"

@@ -322,3 +322,6 @@ class OSPScheme(PersistenceScheme):
             outcome.bytes_scanned + 2 * outcome.bytes_written
         ) / max(bytes_per_ns, 1e-9)
         return outcome
+
+# -- snapshot declarations ----------------------------------------------------
+OSPScheme.__snapshot_state__ = "__all__"

@@ -221,3 +221,6 @@ class OptRedoScheme(PersistenceScheme):
             + outcome.committed_transactions * nvm.write_latency_ns
         )
         return outcome
+
+# -- snapshot declarations ----------------------------------------------------
+OptRedoScheme.__snapshot_state__ = "__all__"

@@ -164,3 +164,45 @@ class SkipList(Generic[V]):
         self._head = _Node(-1, None, _MAX_LEVEL)
         self._level = 1
         self._size = 0
+
+    # -- snapshots -------------------------------------------------------------
+
+    def __snapshot_clone__(self, memo: dict, clone) -> "SkipList":
+        """Iterative clone for :mod:`repro.snapshot`.
+
+        One level-0 walk recreates every node and wires all forward
+        chains (a node of height ``h`` is the next element of chains
+        ``0..h-1``), avoiding both per-node engine dispatch and the deep
+        recursion a generic walk of the forward lists would need.
+        """
+        cls = self.__class__
+        out = cls.__new__(cls)
+        memo[id(self)] = out
+        out._level = self._level
+        out._size = self._size
+        out._state = self._state
+        out.hops = self.hops
+        head = self._head
+        new_head = _Node(-1, None, len(head.forward))
+        memo[id(head)] = new_head
+        out._head = new_head
+        # Last cloned node seen per level; its forward[i] is patched when
+        # the next node of height > i appears (tails stay None).
+        prev: List[_Node] = [new_head] * len(head.forward)
+        node = head.forward[0]
+        while node is not None:
+            height = len(node.forward)
+            twin = _Node(node.key, clone(node.value), height)
+            memo[id(node)] = twin
+            for i in range(height):
+                prev[i].forward[i] = twin
+                prev[i] = twin
+            node = node.forward[0]
+        return out
+
+
+# -- snapshot declarations ----------------------------------------------------
+# _Node keeps a generic fallback spec: nodes are normally cloned by
+# SkipList.__snapshot_clone__ above, but a node reached another way
+# (tests) must still clone correctly.
+_Node.__snapshot_state__ = "__all__"

@@ -219,3 +219,6 @@ class OptUndoScheme(PersistenceScheme):
             + outcome.bytes_written / max(bytes_per_ns, 1e-9)
         )
         return outcome
+
+# -- snapshot declarations ----------------------------------------------------
+OptUndoScheme.__snapshot_state__ = "__all__"

@@ -219,3 +219,10 @@ class Telemetry(NullTelemetry):
                 "write_bytes": self.write_traffic_series.summary(),
             },
         }
+
+
+# -- snapshot declarations ----------------------------------------------------
+# Telemetry is observational by contract: snapshots share the hub (events
+# from replays land on the live hub) rather than cloning event buffers.
+NullTelemetry.__snapshot_state__ = "__shared__"
+Telemetry.__snapshot_state__ = "__shared__"

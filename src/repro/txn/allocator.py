@@ -82,3 +82,7 @@ class PersistentHeap:
     @property
     def live_allocations(self) -> int:
         return self.allocations - self.frees
+
+
+# -- snapshot declarations ----------------------------------------------------
+PersistentHeap.__snapshot_state__ = "__all__"

@@ -245,7 +245,14 @@ class MemorySystem:
             else:
                 l1.misses += 1
                 latency = h._miss_resident(core, line_addr, now).latency_ns
-            line = h._data[line_addr]
+            cow = h._data_cow
+            if cow and line_addr in cow:
+                # Buffer aliased by a snapshot: copy before writing.
+                line = bytearray(h._data[line_addr])
+                h._data[line_addr] = line
+                cow.discard(line_addr)
+            else:
+                line = h._data[line_addr]
             offset = addr - line_addr
             line[offset : offset + size] = data
             flags = h._flags[line_addr]
@@ -349,3 +356,6 @@ class MemorySystem:
         if self._tel_on:
             self.telemetry.record("load_latency_ns", now - start_ns)
         return b"".join(chunks)
+
+# -- snapshot declarations ----------------------------------------------------
+MemorySystem.__snapshot_state__ = "__all__"
