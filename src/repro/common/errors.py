@@ -65,5 +65,22 @@ class MediaError(ReproError):
     """Unrecoverable media failure (retries exhausted or spares gone)."""
 
 
+class ReadRetryExhaustedError(MediaError):
+    """A timed read kept faulting until its per-operation retry budget ran out.
+
+    Carries the failing address and how many attempts this one operation
+    made (the initial read plus every retry), so callers — and the
+    nested-fault sweep's media-burst phase — can report *which* word
+    went bad without parsing the message.
+    """
+
+    def __init__(self, addr: int, attempts: int) -> None:
+        super().__init__(
+            f"read at {addr:#x} still failing after {attempts} attempts"
+        )
+        self.addr = addr
+        self.attempts = attempts
+
+
 class AllocationError(ReproError):
     """The persistent heap could not satisfy an allocation."""

@@ -247,6 +247,21 @@ class MultiControllerHoopScheme(PersistenceScheme):
         decision — and a torn rewrite of one controller's commit-log
         page (which loses every entry on that page, old ones included)
         cannot un-commit transactions another controller still records.
+
+        Replay and cleanup are split by a barrier: every controller
+        redoes the agreed set (``clear_region=False``) before *any*
+        controller erases its region or commit log.  Clearing inline
+        (the single-controller default) is not nested-crash-safe here:
+        controller 0's clear destroys the only durable evidence of a
+        transaction whose commit entry reached just that controller,
+        so a power cut before controller 1 finishes replaying makes
+        the rerun drop the transaction from the agreed set — with
+        controller 0's shard already poked home, the words it owns
+        survive and the rest never arrive (a torn global commit).
+        With the barrier, a cut during redo leaves all evidence
+        intact (the rerun re-agrees), and a cut during cleanup means
+        every poke already landed (the words the rerun no longer
+        replays are durable in the home region).
         """
         # Phase 1: each controller reads its commit log from NVM.
         local_sets = []
@@ -278,6 +293,7 @@ class MultiControllerHoopScheme(PersistenceScheme):
                 bandwidth_gb_per_s=bandwidth_gb_per_s,
                 require_entries=False,
                 only_tx_ids=agreed,
+                clear_region=False,
             )
             controller.mapping.clear()
             controller.eviction_buffer.clear()
@@ -296,6 +312,10 @@ class MultiControllerHoopScheme(PersistenceScheme):
                 merged.write_time_ns, report.write_time_ns
             )
             replayed |= agreed
+        # Cleanup barrier: only after every controller's redo landed.
+        for controller in self.controllers:
+            controller.region.clear(0.0)
+            controller.commit_log.clear()
         merged.committed_transactions = len(agreed)
         return merged
 

@@ -160,8 +160,20 @@ class RecoveryManager:
             device.peek(RETIRE_WATERMARK_ADDR, 8), "little"
         )
         finalized = {tx.tx_id for tx in committed}
-        known = self.commit_log.known_tx_ids()
         open_segments = self.commit_log.open_segments()
+        # Transactions whose every durable commit entry carries the
+        # retired bit were already migrated home by GC.  They can sit
+        # *above* the durable watermark when a crash lands between the
+        # retire rewrite and the watermark update, so the watermark test
+        # alone does not exclude them — without this set the STATE_LAST
+        # scan would resurrect and re-replay them, and a second nested
+        # crash during that replay could tear state GC had finished
+        # with.  (Their data is durable: GC drains before it retires.)
+        retired_only = (
+            self.commit_log.known_tx_ids()
+            - finalized
+            - set(open_segments)
+        )
         scan_blocks = [] if require_entries else busy_blocks
         for block in scan_blocks:
             if self.region.stream_of(block) != "data":
@@ -185,6 +197,7 @@ class RecoveryManager:
                     or ds.generation != generation
                     or ds.tx_id <= watermark
                     or ds.tx_id in finalized
+                    or ds.tx_id in retired_only
                 ):
                     continue
                 slice_index = base_index + slot

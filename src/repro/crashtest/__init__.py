@@ -257,6 +257,27 @@ def _finish_case(
     )
 
 
+def build_crashed_cold(
+    scheme: str,
+    faults: FaultConfig,
+    *,
+    seed: int,
+    transactions: int,
+    addresses: int,
+) -> Tuple[MemorySystem, RunOutcome]:
+    """Cold front half of a case: run the workload under ``faults``.
+
+    Returns the system *before* ``crash()`` plus the observed outcome;
+    shared by :func:`run_case` and the nested sweep (which crashes,
+    snapshots, and re-crashes recovery itself).
+    """
+    system = _build_system(scheme, faults)
+    outcome = run_workload(
+        system, seed=seed, transactions=transactions, addresses=addresses
+    )
+    return system, outcome
+
+
 def run_case(
     scheme: str,
     faults: FaultConfig,
@@ -267,9 +288,9 @@ def run_case(
     recovery_threads: int = 2,
 ) -> CaseResult:
     """One full cold cycle: workload under faults, crash, recover, verify."""
-    system = _build_system(scheme, faults)
-    outcome = run_workload(
-        system, seed=seed, transactions=transactions, addresses=addresses
+    system, outcome = build_crashed_cold(
+        scheme, faults, seed=seed, transactions=transactions,
+        addresses=addresses,
     )
     return _finish_case(system, faults, outcome, recovery_threads)
 
@@ -345,8 +366,10 @@ def _run_case_incremental(
     finishes through the shared verdict tail.  Falls back to the cold
     :func:`run_case` when no checkpoint precedes the boundary.
     """
-    checkpoint = chain.nearest(boundary)
-    if checkpoint is None:
+    pair = build_crashed_incremental(
+        faults, boundary=boundary, chain=chain, txns=txns
+    )
+    if pair is None:
         return run_case(
             scheme,
             faults,
@@ -355,6 +378,27 @@ def _run_case_incremental(
             addresses=addresses,
             recovery_threads=recovery_threads,
         )
+    system, outcome = pair
+    return _finish_case(system, faults, outcome, recovery_threads)
+
+
+def build_crashed_incremental(
+    faults: FaultConfig,
+    *,
+    boundary: int,
+    chain: CheckpointChain,
+    txns: List[TxnRecord],
+) -> Optional[Tuple[MemorySystem, RunOutcome]]:
+    """Incremental front half: restore a checkpoint and replay the suffix.
+
+    Returns ``None`` when no checkpoint precedes the boundary (callers
+    fall back to :func:`build_crashed_cold`); otherwise the system
+    before ``crash()`` plus the outcome, exactly as the cold path would
+    have produced them.
+    """
+    checkpoint = chain.nearest(boundary)
+    if checkpoint is None:
+        return None
     system = checkpoint.snapshot.restore()
     system.device.rearm(
         _dc_replace(
@@ -377,7 +421,7 @@ def _run_case_incremental(
         outcome = RunOutcome(
             oracle, staged, True, system.device.stats.writes
         )
-    return _finish_case(system, faults, outcome, recovery_threads)
+    return system, outcome
 
 
 def choose_boundaries(

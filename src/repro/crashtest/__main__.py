@@ -5,10 +5,15 @@ Usage::
     python -m repro.crashtest --schemes all --sample 200 --seed 7
     python -m repro.crashtest --schemes hoop,undo --sample 0   # exhaustive
     python -m repro.crashtest --replay crashtest_artifacts/crash_hoop_w12.json
+    python -m repro.crashtest --nested --schemes all            # crash recovery too
+    python -m repro.crashtest --nested --resume                 # continue a sweep
 
 Exit status is non-zero when any case fails (or a replay diverges from
 its recorded outcome); failing cases are saved under ``--artifact-dir``
-as fault-plan JSON that ``--replay`` re-runs exactly.
+as fault-plan JSON that ``--replay`` re-runs exactly.  ``--nested``
+switches to the nested-fault sweep (:mod:`repro.crashtest.nested`):
+crash-during-recovery, crash-during-GC, media bursts during GC, and the
+recovery-idempotence oracle, with a resumable state journal.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import sys
 import time
 
 from repro import crashtest
+from repro.crashtest import nested
 from repro.faults.plan import load_artifact
 
 
@@ -35,6 +41,123 @@ def _dump_profile(profiler, args) -> str:
     stats.sort_stats("cumulative").print_stats(40)
     out.write_text(text.getvalue())
     return str(out)
+
+
+def _replay_nested(args, artifact) -> int:
+    """Replay one nested artifact; mirror the forward replay contract."""
+    case = nested.replay_nested_artifact(artifact)
+    same = case.failure == artifact.failure and (
+        not artifact.fingerprint
+        or case.fingerprint == artifact.fingerprint
+    )
+    print(
+        f"[crashtest] nested replay {args.replay}:"
+        f" scheme={artifact.scheme} phase={artifact.phase}"
+        f" fwd={artifact.faults.power_loss_after_write}"
+        f" nested={artifact.nested_after_ops}"
+    )
+    print(f"[crashtest]   recorded: {artifact.failure or 'pass'}")
+    print(f"[crashtest]   replayed: {case.failure or 'pass'}")
+    if not same:
+        print("[crashtest] REPLAY DIVERGED", file=sys.stderr)
+        return 1
+    print("[crashtest] replay reproduced the recorded outcome")
+    return 2 if case.failure else 0
+
+
+def _main_nested(args) -> int:
+    """The ``--nested`` sweep driver."""
+    import json
+    import pathlib
+
+    schemes = nested.resolve_nested_schemes(args.schemes)
+    state_path = args.state or str(
+        pathlib.Path(args.artifact_dir) / "nested_state.json"
+    )
+    params = nested.sweep_params(
+        seed=args.seed,
+        transactions=args.transactions,
+        addresses=args.addresses,
+        forward_sample=args.forward_sample,
+        nested_sample=args.nested_sample,
+        gc_sample=args.gc_sample,
+        torn_mode=args.torn,
+        recovery_threads=args.threads,
+        idempotence_k=args.idempotence_k,
+    )
+    state = nested.SweepState.open(state_path, params, resume=args.resume)
+    budget = [args.max_cases] if args.max_cases > 0 else None
+    any_failures = False
+    exhausted = False
+    grand_cases = 0
+    verdicts = {}
+    started = time.time()
+    for scheme in schemes:
+        t0 = time.time()
+        result, ran_dry = nested._nested_sweep_counted(
+            scheme,
+            seed=args.seed,
+            transactions=args.transactions,
+            addresses=args.addresses,
+            forward_sample=args.forward_sample,
+            nested_sample=args.nested_sample,
+            gc_sample=args.gc_sample,
+            torn_mode=args.torn,
+            recovery_threads=args.threads,
+            idempotence_k=args.idempotence_k,
+            artifact_dir=args.artifact_dir,
+            state=state,
+            budget=budget,
+            progress=print,
+        )
+        exhausted = exhausted or ran_dry
+        grand_cases += len(result.cases)
+        failures = result.failures
+        any_failures = any_failures or bool(failures)
+        if args.verdicts:
+            verdicts[scheme] = {
+                "total_writes": result.total_writes,
+                "recovery_ops": result.recovery_ops_probed,
+                "cases": [
+                    [c.key(), c.attempts, c.failure, c.fingerprint]
+                    for c in result.cases
+                ],
+            }
+        print(
+            f"[crashtest] {scheme} nested: {len(result.cases)} cases"
+            f" ({result.skipped} resumed), recovery ops probed"
+            f" {result.recovery_ops_probed}, {len(failures)} failures"
+            f" ({time.time() - t0:.1f}s)"
+        )
+        if ran_dry:
+            break
+    if args.verdicts:
+        path = pathlib.Path(args.verdicts)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(verdicts, indent=1, sort_keys=True))
+        print(f"[crashtest] verdicts -> {path}")
+    print(
+        f"[crashtest] nested total: {grand_cases} cases across "
+        f"{len(schemes)} schemes in {time.time() - started:.1f}s"
+        f" (state: {state_path})"
+    )
+    if any_failures:
+        print(
+            f"[crashtest] FAILURES — artifacts in {args.artifact_dir}/",
+            file=sys.stderr,
+        )
+        return 1
+    if exhausted:
+        print(
+            f"[crashtest] stopped after --max-cases={args.max_cases} new"
+            " verdicts; rerun with --resume to continue"
+        )
+        return 0
+    print(
+        "[crashtest] all nested cases atomically durable and"
+        " recovery-idempotent"
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -83,10 +206,50 @@ def main(argv=None) -> int:
         help="write per-boundary verdicts as JSON (for diffing sweep"
         " modes, e.g. snapshot-incremental vs cold)",
     )
+    parser.add_argument(
+        "--nested", action="store_true",
+        help="nested-fault sweep: crash recovery/GC too, and check"
+        " recovery idempotence",
+    )
+    parser.add_argument(
+        "--forward-sample", type=int, default=5,
+        help="[--nested] forward crash boundaries per scheme",
+    )
+    parser.add_argument(
+        "--nested-sample", type=int, default=4,
+        help="[--nested] recovery-op cut points per forward boundary"
+        " (0 = every recovery op)",
+    )
+    parser.add_argument(
+        "--gc-sample", type=int, default=6,
+        help="[--nested] write boundaries inside the GC pass"
+        " (0 = every GC write)",
+    )
+    parser.add_argument(
+        "--idempotence-k", type=int, default=2,
+        help="[--nested] extra crash+recover cycles per case; durable"
+        " state must stay bit-identical",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="[--nested] skip cases already decided in the state file",
+    )
+    parser.add_argument(
+        "--state", metavar="PATH", default=None,
+        help="[--nested] sweep state journal"
+        " (default <artifact-dir>/nested_state.json)",
+    )
+    parser.add_argument(
+        "--max-cases", type=int, default=0,
+        help="[--nested] stop after this many new verdicts (0 ="
+        " unlimited); pair with --resume to continue",
+    )
     args = parser.parse_args(argv)
 
     if args.replay:
         artifact = load_artifact(args.replay)
+        if artifact.phase != "forward":
+            return _replay_nested(args, artifact)
         case = crashtest.replay_artifact(artifact)
         same = case.failure == artifact.failure and (
             not artifact.fingerprint
@@ -104,6 +267,9 @@ def main(argv=None) -> int:
             return 1
         print("[crashtest] replay reproduced the recorded outcome")
         return 2 if case.failure else 0
+
+    if args.nested:
+        return _main_nested(args)
 
     schemes = crashtest.resolve_schemes(args.schemes)
     any_failures = False

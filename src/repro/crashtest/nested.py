@@ -1,0 +1,916 @@
+"""Nested-fault sweep: crash the crash recovery (and GC) too.
+
+The forward sweep (:mod:`repro.crashtest`) injects power loss during
+normal execution and then lets recovery run on healthy hardware.  Real
+NVM recovery must itself survive power loss and media errors and be
+idempotent on re-execution — the property NVTraverse demands of its
+post-crash fix-up traversals and optimistic persistent buffer managers
+require of their redo passes.  This module sweeps exactly that:
+
+* **recovery phase** — for sampled forward boundaries, crash the run,
+  snapshot the crashed machine (``repro.snapshot``), probe how many
+  mutation ops (home-region pokes *and* timed metadata writes — log
+  headers, slot rewrites, region clears) one recovery pass performs,
+  then re-crash recovery at sampled op boundaries (clean or torn) and
+  re-run it until it converges;
+* **gc phase** — run the workload to completion, snapshot, then cut the
+  power at sampled write boundaries inside the GC/coalescing pass
+  (``quiesce``), recover, and verify no home-region or OOP copy of a
+  committed word was lost;
+* **gc-media phase** — rearm the device with a transient-read burst and
+  drive the same GC pass through the port's bounded retry path.
+
+Every case ends with the atomic-durability oracle *and* an idempotence
+oracle: after the first converged recovery, ``k`` further
+crash+recover cycles must leave the durable NVM image bit-identical
+(compared by :meth:`~repro.nvm.device.NVMDevice.content_fingerprint`).
+
+Sweep state is resumable: verdicts are journaled to a JSON state file
+after every case, and ``--resume`` skips cases already decided — the
+nested boundary product is much larger than the forward sweep's.
+
+CLI: ``python -m repro.crashtest --nested`` (see ``--forward-sample``,
+``--nested-sample``, ``--gc-sample``, ``--resume``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import FaultConfig
+from repro.common.errors import MediaError, PowerLossError
+from repro.crashtest import (
+    SWEEP_SCHEMES,
+    RunOutcome,
+    _probe_and_checkpoint,
+    _torn_for,
+    build_crashed_cold,
+    build_crashed_incremental,
+    choose_boundaries,
+    count_write_boundaries,
+    verify_atomic_durability,
+)
+from repro.faults.plan import CrashArtifact, save_artifact
+from repro.snapshot import capture, checkpoint_cadence, snapshots_enabled
+from repro.snapshot.replay import CheckpointChain
+from repro.txn.system import MemorySystem
+
+# The nested sweep covers every registered persistence scheme — the
+# forward vocabulary plus the multi-controller build (native has no
+# recovery protocol to crash).
+NESTED_SCHEMES: Dict[str, str] = dict(SWEEP_SCHEMES)
+NESTED_SCHEMES["hoopmc"] = "hoop-mc"
+
+# A recovery that needs more attempts than this never converges under a
+# single armed nested fault (one interrupted attempt + one clean rerun
+# is the expected shape; the slack absorbs Nth-fault extensions).
+MAX_RECOVERY_ATTEMPTS = 5
+
+# Probe budget: large enough that no recovery pass exhausts it.
+_PROBE_OPS = 1 << 30
+
+# Media-burst parameters for the gc-media phase.
+_MEDIA_RATE = 0.2
+_MEDIA_RETRIES = 8
+
+STATE_VERSION = 1
+
+
+def resolve_nested_schemes(spec: str) -> List[str]:
+    """Expand a ``--schemes`` argument against the nested vocabulary."""
+    if spec == "all":
+        return list(NESTED_SCHEMES.values())
+    names = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        names.append(NESTED_SCHEMES.get(token, token))
+    if not names:
+        raise ValueError("no schemes selected")
+    return names
+
+
+@dataclass
+class NestedCaseResult:
+    """One verified nested-fault case."""
+
+    phase: str  # "recovery", "gc", or "gc-media"
+    forward_boundary: Optional[int]  # timed-write boundary of cut #1
+    nested_boundary: Optional[int]  # recovery-op budget of cut #2
+    torn: bool  # cut #1 torn?
+    nested_torn: bool  # cut #2 torn?
+    attempts: int  # recovery attempts until convergence
+    failure: Optional[str]
+    fingerprint: str
+
+    def key(self) -> str:
+        """Stable identity of this case inside one sweep's parameters."""
+        return (
+            f"{self.phase}:{self.forward_boundary}:{self.nested_boundary}"
+            f":{int(self.torn)}:{int(self.nested_torn)}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict for the sweep-state journal."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NestedCaseResult":
+        """Rebuild from :meth:`to_dict` output; unknown keys ignored."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass
+class NestedSweepResult:
+    """All cases of one scheme's nested sweep."""
+
+    scheme: str
+    total_writes: int
+    recovery_ops_probed: int = 0
+    cases: List[NestedCaseResult] = field(default_factory=list)
+    skipped: int = 0  # cases satisfied from resumed state
+
+    @property
+    def failures(self) -> List[NestedCaseResult]:
+        """The cases whose oracle (durability or idempotence) failed."""
+        return [c for c in self.cases if c.failure]
+
+
+class SweepState:
+    """Journal of decided cases, written after every verdict.
+
+    The file is rewritten atomically (temp + rename), so a killed sweep
+    leaves a loadable journal; ``--resume`` skips every recorded case
+    whose sweep parameters match exactly and re-runs the rest.
+    """
+
+    def __init__(self, path, params: dict) -> None:
+        self.path = pathlib.Path(path) if path else None
+        self.params = params
+        self.cases: Dict[str, Dict[str, dict]] = {}
+
+    @classmethod
+    def open(cls, path, params: dict, *, resume: bool) -> "SweepState":
+        """Create (or resume) the journal at ``path``.
+
+        Resuming against a journal written with different sweep
+        parameters is an error — its verdicts answer different cases.
+        """
+        state = cls(path, params)
+        if not resume or state.path is None or not state.path.exists():
+            return state
+        payload = json.loads(state.path.read_text())
+        if payload.get("version") != STATE_VERSION:
+            raise ValueError(
+                f"state file {path} has version {payload.get('version')}, "
+                f"expected {STATE_VERSION}"
+            )
+        if payload.get("params") != params:
+            raise ValueError(
+                f"state file {path} was written by a sweep with different "
+                f"parameters; rerun without --resume (or delete it)"
+            )
+        state.cases = payload.get("cases", {})
+        return state
+
+    def lookup(self, scheme: str, key: str) -> Optional[NestedCaseResult]:
+        """A previously journaled verdict for this case, if any."""
+        payload = self.cases.get(scheme, {}).get(key)
+        if payload is None:
+            return None
+        return NestedCaseResult.from_dict(payload)
+
+    def record(self, scheme: str, case: NestedCaseResult) -> None:
+        """Journal one verdict and flush the file immediately."""
+        self.cases.setdefault(scheme, {})[case.key()] = case.to_dict()
+        self.save()
+
+    def save(self) -> None:
+        """Atomically rewrite the journal (write temp, then rename)."""
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "version": STATE_VERSION,
+                    "params": self.params,
+                    "cases": self.cases,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        os.replace(tmp, self.path)
+
+
+class SweepBudgetExhausted(Exception):
+    """Raised internally when ``--max-cases`` new verdicts were computed."""
+
+
+# -- the per-case machinery ---------------------------------------------------
+
+
+def converge_recovery(
+    system: MemorySystem,
+    *,
+    threads: int = 2,
+    max_attempts: int = MAX_RECOVERY_ATTEMPTS,
+) -> Tuple[int, Optional[str]]:
+    """Re-run recovery through nested power cuts until it completes.
+
+    The system must already be crashed.  Each interrupted attempt goes
+    through ``crash()`` (which restores power and disarms the fired
+    budget) and retries; returns ``(attempts, failure)`` where a
+    non-None failure means recovery never converged.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        if attempts > max_attempts:
+            return attempts - 1, (
+                f"recovery did not converge within {max_attempts} attempts"
+            )
+        try:
+            system.recover(threads=threads)
+            return attempts, None
+        except PowerLossError:
+            system.crash()
+
+
+def check_idempotence(
+    system: MemorySystem,
+    fingerprint: str,
+    *,
+    threads: int = 2,
+    k: int = 2,
+) -> Optional[str]:
+    """Crash + recover ``k`` more times; durable state must not move."""
+    for cycle in range(1, k + 1):
+        system.crash()
+        system.recover(threads=threads)
+        now = system.device.content_fingerprint()
+        if now != fingerprint:
+            return (
+                f"recovery not idempotent: durable fingerprint diverged "
+                f"on re-run {cycle} of {k}"
+            )
+    return None
+
+
+def probe_recovery_ops(system: MemorySystem, *, threads: int = 2) -> int:
+    """How many mutation ops one full recovery of this crashed system does.
+
+    Arms an effectively-infinite recovery budget (so both mutation
+    planes are counted without firing) and runs recovery to completion;
+    the consumed count is the nested sweep's boundary population.
+    """
+    system.device.injector.arm_recovery_fault(after_ops=_PROBE_OPS)
+    system.recover(threads=threads)
+    ops = system.device.injector.stats.recovery_ops
+    system.device.injector.restore_power()
+    return ops
+
+
+def run_nested_recovery_case(
+    system: MemorySystem,
+    outcome: RunOutcome,
+    *,
+    phase: str,
+    forward_boundary: Optional[int],
+    nested_boundary: Optional[int],
+    torn: bool,
+    nested_torn: bool,
+    threads: int = 2,
+    idempotence_k: int = 2,
+) -> NestedCaseResult:
+    """Verdict tail of one nested case.
+
+    ``system`` must already be crashed.  Arms the nested fault (if any),
+    converges recovery, checks atomic durability against the outcome's
+    oracle, then the idempotence oracle.
+    """
+    if nested_boundary is not None:
+        system.device.injector.arm_recovery_fault(
+            after_ops=nested_boundary, torn=nested_torn
+        )
+    attempts, failure = converge_recovery(system, threads=threads)
+    if failure is None:
+        failure = verify_atomic_durability(
+            system, outcome.oracle, outcome.staged
+        )
+    fingerprint = system.device.content_fingerprint()
+    if failure is None:
+        failure = check_idempotence(
+            system, fingerprint, threads=threads, k=idempotence_k
+        )
+    return NestedCaseResult(
+        phase=phase,
+        forward_boundary=forward_boundary,
+        nested_boundary=nested_boundary,
+        torn=torn,
+        nested_torn=nested_torn,
+        attempts=attempts,
+        failure=failure,
+        fingerprint=fingerprint,
+    )
+
+
+class _CrashedFactory:
+    """Reproduces the crashed machine of one forward boundary on demand.
+
+    With snapshots enabled the crashed state is captured once and every
+    nested case restores a bit-identical clone; with
+    ``REPRO_SNAPSHOT_DISABLE=1`` each case re-runs the workload cold —
+    verdicts are identical either way (the same equivalence the forward
+    sweep's CI smoke checks).
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        faults: FaultConfig,
+        *,
+        seed: int,
+        transactions: int,
+        addresses: int,
+        chain: Optional[CheckpointChain],
+        txns,
+    ) -> None:
+        self.scheme = scheme
+        self.faults = faults
+        self.seed = seed
+        self.transactions = transactions
+        self.addresses = addresses
+        self._chain = chain
+        self._txns = txns
+        self._snapshot = None
+        self.outcome: Optional[RunOutcome] = None
+        if snapshots_enabled():
+            system, self.outcome = self._build()
+            system.crash()
+            self._snapshot = capture(system)
+
+    def _build(self) -> Tuple[MemorySystem, RunOutcome]:
+        boundary = self.faults.power_loss_after_write
+        if self._chain is not None and boundary is not None:
+            pair = build_crashed_incremental(
+                self.faults,
+                boundary=boundary,
+                chain=self._chain,
+                txns=self._txns,
+            )
+            if pair is not None:
+                return pair
+        return build_crashed_cold(
+            self.scheme,
+            self.faults,
+            seed=self.seed,
+            transactions=self.transactions,
+            addresses=self.addresses,
+        )
+
+    def make(self) -> Tuple[MemorySystem, RunOutcome]:
+        """A fresh crashed system (plus outcome) for one nested case."""
+        if self._snapshot is not None:
+            return self._snapshot.restore(), self.outcome
+        system, outcome = self._build()
+        system.crash()
+        return system, outcome
+
+
+class _QuiescedFactory:
+    """Reproduces the completed-workload machine for the GC phases."""
+
+    def __init__(
+        self,
+        scheme: str,
+        faults: FaultConfig,
+        *,
+        seed: int,
+        transactions: int,
+        addresses: int,
+    ) -> None:
+        self.scheme = scheme
+        self.faults = faults
+        self.seed = seed
+        self.transactions = transactions
+        self.addresses = addresses
+        self._snapshot = None
+        self.outcome: Optional[RunOutcome] = None
+        self.base_writes = 0
+        system, outcome = self._build()
+        self.outcome = outcome
+        self.base_writes = system.device.stats.writes
+        if snapshots_enabled():
+            self._snapshot = capture(system)
+
+    def _build(self) -> Tuple[MemorySystem, RunOutcome]:
+        system, outcome = build_crashed_cold(
+            self.scheme,
+            self.faults,
+            seed=self.seed,
+            transactions=self.transactions,
+            addresses=self.addresses,
+        )
+        assert not outcome.power_lost
+        return system, outcome
+
+    def make(self) -> Tuple[MemorySystem, RunOutcome]:
+        """A fresh completed-workload system, GC not yet run."""
+        if self._snapshot is not None:
+            return self._snapshot.restore(), self.outcome
+        return self._build()
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+def sweep_params(
+    *,
+    seed: int,
+    transactions: int,
+    addresses: int,
+    forward_sample: int,
+    nested_sample: int,
+    gc_sample: int,
+    torn_mode: str,
+    recovery_threads: int,
+    idempotence_k: int,
+) -> dict:
+    """The parameter fingerprint a resumable state file is keyed by."""
+    return {
+        "seed": seed,
+        "transactions": transactions,
+        "addresses": addresses,
+        "forward_sample": forward_sample,
+        "nested_sample": nested_sample,
+        "gc_sample": gc_sample,
+        "torn_mode": torn_mode,
+        "recovery_threads": recovery_threads,
+        "idempotence_k": idempotence_k,
+    }
+
+
+def nested_sweep_scheme(
+    scheme: str,
+    *,
+    seed: int = 7,
+    transactions: int = 48,
+    addresses: int = 12,
+    forward_sample: int = 5,
+    nested_sample: int = 4,
+    gc_sample: int = 6,
+    torn_mode: str = "alternate",
+    recovery_threads: int = 2,
+    idempotence_k: int = 2,
+    artifact_dir: Optional[str] = None,
+    state: Optional[SweepState] = None,
+    max_new_cases: int = 0,
+    progress=None,
+) -> NestedSweepResult:
+    """Run the nested-fault sweep for one scheme.
+
+    Phase 1 (recovery): for ``forward_sample`` forward write boundaries,
+    crash, probe the recovery-op count, and re-crash recovery at
+    ``nested_sample`` op boundaries each.  Phase 2 (gc): cut the power
+    at ``gc_sample`` write boundaries inside the post-workload GC pass.
+    Phase 3 (gc-media): drive the same GC pass under a transient-read
+    burst.  Every case checks atomic durability plus ``idempotence_k``
+    extra crash+recover cycles for bit-identical durable state.
+
+    ``state`` (a :class:`SweepState`) makes the sweep resumable;
+    ``max_new_cases`` (>0) stops after that many fresh verdicts by
+    raising through — callers treat it as a clean early exit.
+    """
+    result, _ = _nested_sweep_counted(
+        scheme,
+        seed=seed,
+        transactions=transactions,
+        addresses=addresses,
+        forward_sample=forward_sample,
+        nested_sample=nested_sample,
+        gc_sample=gc_sample,
+        torn_mode=torn_mode,
+        recovery_threads=recovery_threads,
+        idempotence_k=idempotence_k,
+        artifact_dir=artifact_dir,
+        state=state,
+        budget=[max_new_cases] if max_new_cases > 0 else None,
+        progress=progress,
+    )
+    return result
+
+
+def _nested_sweep_counted(
+    scheme: str,
+    *,
+    seed: int,
+    transactions: int,
+    addresses: int,
+    forward_sample: int,
+    nested_sample: int,
+    gc_sample: int,
+    torn_mode: str,
+    recovery_threads: int,
+    idempotence_k: int,
+    artifact_dir: Optional[str],
+    state: Optional[SweepState],
+    budget: Optional[List[int]],
+    progress=None,
+) -> Tuple[NestedSweepResult, bool]:
+    """Sweep body; returns ``(result, exhausted)``.
+
+    ``budget`` is a shared one-element countdown of new verdicts across
+    schemes (``None`` = unlimited); ``exhausted`` reports whether it ran
+    out mid-sweep (the CLI's ``--max-cases`` smoke/resume hook).
+    """
+
+    def _settle(case_key: str, compute) -> Tuple[NestedCaseResult, bool]:
+        """Resume-aware case execution: journal hit, or compute+record."""
+        if state is not None:
+            cached = state.lookup(scheme, case_key)
+            if cached is not None:
+                return cached, True
+        if budget is not None and budget[0] <= 0:
+            raise SweepBudgetExhausted()
+        case = compute()
+        assert case.key() == case_key, (case.key(), case_key)
+        if budget is not None:
+            budget[0] -= 1
+        if state is not None:
+            state.record(scheme, case)
+        _report_case(
+            scheme,
+            case,
+            artifact_dir,
+            progress,
+            seed=seed,
+            transactions=transactions,
+            addresses=addresses,
+            recovery_threads=recovery_threads,
+            idempotence_k=idempotence_k,
+        )
+        return case, False
+
+    # Probe the forward run (and lay checkpoints when snapshots are on).
+    chain: Optional[CheckpointChain] = None
+    txns = []
+    if snapshots_enabled():
+        cadence = checkpoint_cadence(max(1, transactions // 8))
+        total, txns, chain = _probe_and_checkpoint(
+            scheme,
+            seed=seed,
+            transactions=transactions,
+            addresses=addresses,
+            cadence=cadence,
+        )
+    else:
+        total = count_write_boundaries(
+            scheme, seed=seed, transactions=transactions, addresses=addresses
+        )
+    result = NestedSweepResult(scheme=scheme, total_writes=total)
+    exhausted = False
+
+    try:
+        # -- phase 1: crash during recovery ---------------------------------
+        forward_boundaries = choose_boundaries(total, forward_sample, seed)
+        for boundary in forward_boundaries:
+            torn = _torn_for(boundary, torn_mode)
+            faults = FaultConfig(
+                enabled=True,
+                seed=seed ^ (boundary << 8),
+                power_loss_after_write=boundary,
+                torn=torn,
+            )
+            factory = _CrashedFactory(
+                scheme,
+                faults,
+                seed=seed,
+                transactions=transactions,
+                addresses=addresses,
+                chain=chain,
+                txns=txns,
+            )
+            # Probe: ops one clean recovery performs from this state.
+            probe_sys, probe_outcome = factory.make()
+            ops = probe_recovery_ops(probe_sys, threads=recovery_threads)
+            result.recovery_ops_probed = max(result.recovery_ops_probed, ops)
+            nested_boundaries: List[Optional[int]]
+            if ops > 0:
+                # choose_boundaries samples 1..ops; budget j-1 makes the
+                # j-th recovery op the cut instant.
+                nested_boundaries = [
+                    j - 1
+                    for j in choose_boundaries(
+                        ops, nested_sample, seed ^ (boundary << 4)
+                    )
+                ]
+            else:
+                # Recovery performs no mutations (e.g. LAD): nothing to
+                # cut, but convergence + idempotence still get checked.
+                nested_boundaries = [None]
+            for after_ops in nested_boundaries:
+                nested_torn = (
+                    _torn_for(after_ops + 1, torn_mode)
+                    if after_ops is not None
+                    else False
+                )
+                probe_key = NestedCaseResult(
+                    "recovery", boundary, after_ops, torn, nested_torn,
+                    0, None, "",
+                ).key()
+
+                def _compute(
+                    after_ops=after_ops,
+                    nested_torn=nested_torn,
+                    boundary=boundary,
+                    torn=torn,
+                    factory=factory,
+                ):
+                    system, outcome = factory.make()
+                    return run_nested_recovery_case(
+                        system,
+                        outcome,
+                        phase="recovery",
+                        forward_boundary=boundary,
+                        nested_boundary=after_ops,
+                        torn=torn,
+                        nested_torn=nested_torn,
+                        threads=recovery_threads,
+                        idempotence_k=idempotence_k,
+                    )
+
+                case, from_state = _settle(probe_key, _compute)
+                result.cases.append(case)
+                result.skipped += int(from_state)
+
+        # -- phase 2: crash during GC / coalescing --------------------------
+        clean = FaultConfig(enabled=True, seed=seed)
+        quiesced = _QuiescedFactory(
+            scheme,
+            clean,
+            seed=seed,
+            transactions=transactions,
+            addresses=addresses,
+        )
+        gc_probe, _ = quiesced.make()
+        gc_probe.scheme.quiesce(gc_probe.now_ns)
+        gc_writes = gc_probe.device.stats.writes - quiesced.base_writes
+        if gc_writes > 0:
+            for boundary in choose_boundaries(
+                gc_writes, gc_sample, seed ^ 0x6C
+            ):
+                torn = _torn_for(boundary, torn_mode)
+                gc_key = NestedCaseResult(
+                    "gc", boundary, None, torn, False, 0, None, ""
+                ).key()
+
+                def _compute_gc(boundary=boundary, torn=torn):
+                    system, outcome = quiesced.make()
+                    system.device.injector.arm_power_loss(
+                        after_writes=boundary - 1, torn=torn
+                    )
+                    try:
+                        system.scheme.quiesce(system.now_ns)
+                    except PowerLossError:
+                        pass
+                    system.crash()
+                    return run_nested_recovery_case(
+                        system,
+                        outcome,
+                        phase="gc",
+                        forward_boundary=boundary,
+                        nested_boundary=None,
+                        torn=torn,
+                        nested_torn=False,
+                        threads=recovery_threads,
+                        idempotence_k=idempotence_k,
+                    )
+
+                case, from_state = _settle(gc_key, _compute_gc)
+                result.cases.append(case)
+                result.skipped += int(from_state)
+
+        # -- phase 3: media-error burst during GC ---------------------------
+        media_key = NestedCaseResult(
+            "gc-media", None, None, False, False, 0, None, ""
+        ).key()
+
+        def _compute_media():
+            system, outcome = quiesced.make()
+            system.device.rearm(
+                _dc_replace(
+                    clean,
+                    read_error_rate=_MEDIA_RATE,
+                    max_read_retries=_MEDIA_RETRIES,
+                )
+            )
+            failure = None
+            try:
+                system.scheme.quiesce(system.now_ns)
+            except MediaError as exc:
+                failure = f"media burst not absorbed by retries: {exc}"
+            system.crash()
+            case = run_nested_recovery_case(
+                system,
+                outcome,
+                phase="gc-media",
+                forward_boundary=None,
+                nested_boundary=None,
+                torn=False,
+                nested_torn=False,
+                threads=recovery_threads,
+                idempotence_k=idempotence_k,
+            )
+            if failure is not None and case.failure is None:
+                case.failure = failure
+            return case
+
+        case, from_state = _settle(media_key, _compute_media)
+        result.cases.append(case)
+        result.skipped += int(from_state)
+    except SweepBudgetExhausted:
+        exhausted = True
+
+    return result, exhausted
+
+
+def _report_case(
+    scheme: str,
+    case: NestedCaseResult,
+    artifact_dir: Optional[str],
+    progress,
+    *,
+    seed: int,
+    transactions: int,
+    addresses: int,
+    recovery_threads: int,
+    idempotence_k: int,
+) -> None:
+    """Print + persist a failing case as a replayable artifact."""
+    if not case.failure:
+        return
+    if progress:
+        progress(
+            f"  FAIL {scheme} [{case.phase}] fwd={case.forward_boundary}"
+            f" nested={case.nested_boundary}"
+            f"{' torn' if case.torn else ''}: {case.failure}"
+        )
+    if artifact_dir:
+        path = save_artifact(
+            nested_case_artifact(
+                scheme,
+                case,
+                seed=seed,
+                transactions=transactions,
+                addresses=addresses,
+                recovery_threads=recovery_threads,
+                idempotence_k=idempotence_k,
+            ),
+            f"{artifact_dir}/nested_{scheme}_{case.phase}"
+            f"_f{case.forward_boundary}_n{case.nested_boundary}.json",
+        )
+        if progress:
+            progress(f"  artifact written: {path}")
+
+
+def nested_case_artifact(
+    scheme: str,
+    case: NestedCaseResult,
+    *,
+    seed: int = 7,
+    transactions: int = 48,
+    addresses: int = 12,
+    recovery_threads: int = 2,
+    idempotence_k: int = 2,
+) -> CrashArtifact:
+    """Fault-plan artifact for one nested case (``--replay`` input)."""
+    if case.phase == "gc-media":
+        faults = FaultConfig(
+            enabled=True,
+            seed=seed,
+            read_error_rate=_MEDIA_RATE,
+            max_read_retries=_MEDIA_RETRIES,
+        )
+    elif case.phase == "gc":
+        faults = FaultConfig(enabled=True, seed=seed, torn=case.torn)
+    else:
+        faults = FaultConfig(
+            enabled=True,
+            seed=seed ^ (case.forward_boundary << 8),
+            power_loss_after_write=case.forward_boundary,
+            torn=case.torn,
+        )
+    return CrashArtifact(
+        scheme=scheme,
+        faults=faults,
+        workload_seed=seed,
+        transactions=transactions,
+        addresses=addresses,
+        recovery_threads=recovery_threads,
+        failure=case.failure,
+        fingerprint=case.fingerprint,
+        phase=case.phase,
+        nested_after_ops=case.nested_boundary,
+        nested_torn=case.nested_torn,
+        idempotence_k=idempotence_k,
+        notes=(
+            ["gc boundary counts writes after the workload completed"]
+            if case.phase in ("gc", "gc-media")
+            else []
+        )
+        + (
+            [f"gc write boundary {case.forward_boundary}"]
+            if case.phase == "gc"
+            else []
+        ),
+    )
+
+
+def replay_nested_artifact(artifact: CrashArtifact) -> NestedCaseResult:
+    """Re-run one saved nested case cold; caller compares outcomes."""
+    if artifact.phase == "recovery":
+        system, outcome = build_crashed_cold(
+            artifact.scheme,
+            artifact.faults,
+            seed=artifact.workload_seed,
+            transactions=artifact.transactions,
+            addresses=artifact.addresses,
+        )
+        system.crash()
+        return run_nested_recovery_case(
+            system,
+            outcome,
+            phase="recovery",
+            forward_boundary=artifact.faults.power_loss_after_write,
+            nested_boundary=artifact.nested_after_ops,
+            torn=artifact.faults.torn,
+            nested_torn=artifact.nested_torn,
+            threads=artifact.recovery_threads,
+            idempotence_k=artifact.idempotence_k,
+        )
+    if artifact.phase in ("gc", "gc-media"):
+        clean = _dc_replace(
+            artifact.faults,
+            read_error_rate=0.0,
+            max_read_retries=3,
+            power_loss_after_write=None,
+        )
+        system, outcome = build_crashed_cold(
+            artifact.scheme,
+            clean,
+            seed=artifact.workload_seed,
+            transactions=artifact.transactions,
+            addresses=artifact.addresses,
+        )
+        failure = None
+        gc_boundary = None
+        if artifact.phase == "gc-media":
+            system.device.rearm(artifact.faults)
+            try:
+                system.scheme.quiesce(system.now_ns)
+            except MediaError as exc:
+                failure = f"media burst not absorbed by retries: {exc}"
+        else:
+            # The note records the boundary as GC-relative writes; the
+            # forward run is clean, so arm the residual directly.
+            for note in artifact.notes:
+                if note.startswith("gc write boundary "):
+                    gc_boundary = int(note.rsplit(" ", 1)[1])
+            if gc_boundary is None:
+                raise ValueError("gc artifact missing its boundary note")
+            system.device.injector.arm_power_loss(
+                after_writes=gc_boundary - 1, torn=artifact.faults.torn
+            )
+            try:
+                system.scheme.quiesce(system.now_ns)
+            except PowerLossError:
+                pass
+        system.crash()
+        case = run_nested_recovery_case(
+            system,
+            outcome,
+            phase=artifact.phase,
+            forward_boundary=(
+                None if artifact.phase == "gc-media" else gc_boundary
+            ),
+            nested_boundary=None,
+            torn=artifact.faults.torn if artifact.phase == "gc" else False,
+            nested_torn=False,
+            threads=artifact.recovery_threads,
+            idempotence_k=artifact.idempotence_k,
+        )
+        if failure is not None and case.failure is None:
+            case.failure = failure
+        return case
+    raise ValueError(f"not a nested artifact (phase={artifact.phase!r})")

@@ -21,7 +21,12 @@ replays exactly; :mod:`repro.faults.plan` serializes plans and the
 crash-sweep repro artifacts built from them.
 """
 
-from repro.common.errors import MediaError, PowerLossError, TransientReadError
+from repro.common.errors import (
+    MediaError,
+    PowerLossError,
+    ReadRetryExhaustedError,
+    TransientReadError,
+)
 from repro.faults.injector import (
     FaultInjector,
     FaultStats,
@@ -49,4 +54,5 @@ __all__ = [
     "PowerLossError",
     "TransientReadError",
     "MediaError",
+    "ReadRetryExhaustedError",
 ]

@@ -8,8 +8,11 @@ nothing.  The subclass intercepts the four access entry points
 :class:`FaultInjector`, which owns all mutable fault state:
 
 * an armed **power-loss budget** over timed writes (and, separately,
-  over untimed pokes, which is how a crash *during recovery* is
-  injected — recovery restores the home region with pokes);
+  over untimed pokes), plus a unified **recovery budget** counting both
+  mutation planes in program order — how a *nested* crash during
+  recovery is injected, since recovery interleaves home-region pokes
+  with timed metadata writes (log headers, slot rewrites, region
+  clears);
 * the seeded PRNG behind **torn-write** word selection and **transient
   read** faults;
 * the **bad-block remap table** — the one piece of injector state that
@@ -58,6 +61,10 @@ class FaultStats:
     torn_words_applied: int = 0
     torn_words_dropped: int = 0
     transient_read_faults: int = 0
+    # Mutation ops (timed writes + pokes) that crossed an armed recovery
+    # budget — the nested-fault sweep's boundary population for
+    # crash-during-recovery injection.
+    recovery_ops: int = 0
     stuck_block_writes: int = 0
     remapped_blocks: int = 0
     remap_copy_bytes: int = 0
@@ -78,6 +85,12 @@ class FaultInjector:
         self._rng = random.Random(config.seed)
         self._write_budget: Optional[int] = config.power_loss_after_write
         self._poke_budget: Optional[int] = None
+        # The *nested* fault budget: one counter over both mutation
+        # planes (timed writes AND pokes) in program order.  Recovery
+        # paths interleave pokes (home-region restore) with timed writes
+        # (log-header persists, slot rewrites, region clears), so a
+        # crash-during-recovery boundary must count both.
+        self._recovery_budget: Optional[int] = None
         self._torn = config.torn
         self._power_lost = False
 
@@ -103,6 +116,31 @@ class FaultInjector:
         if torn is not None:
             self._torn = torn
 
+    def arm_recovery_fault(
+        self, *, after_ops: int, torn: Optional[bool] = None
+    ) -> None:
+        """Arm the nested fault: die after ``after_ops`` more mutations.
+
+        The budget counts timed writes and pokes together, in program
+        order, because recovery mixes both planes (``after_ops=0`` means
+        the very next mutation is the power-cut instant).  Arm it on the
+        *crashed* system, before calling ``recover()`` — forward
+        execution would consume it just the same.
+        """
+        if after_ops < 0:
+            raise ValueError("recovery fault budget must be >= 0")
+        self._recovery_budget = after_ops
+        if torn is not None:
+            self._torn = torn
+
+    @property
+    def pending_nested_fault(self) -> bool:
+        """True when an armed poke/recovery budget has not fired yet."""
+        return not self._power_lost and (
+            self._poke_budget is not None
+            or self._recovery_budget is not None
+        )
+
     def restore_power(self) -> None:
         """Reboot: budgets disarm, the machine accepts writes again.
 
@@ -113,6 +151,7 @@ class FaultInjector:
         self._power_lost = False
         self._write_budget = None
         self._poke_budget = None
+        self._recovery_budget = None
 
     @property
     def power_lost(self) -> bool:
@@ -124,6 +163,8 @@ class FaultInjector:
         if self._power_lost:
             self.stats.writes_lost += 1
             return _WRITE_DEAD
+        if self._recovery_budget is not None:
+            return self._on_recovery_op()
         if self._write_budget is None:
             return _WRITE_OK
         if self._write_budget > 0:
@@ -137,10 +178,22 @@ class FaultInjector:
         if self._power_lost:
             self.stats.writes_lost += 1
             return _WRITE_DEAD
+        if self._recovery_budget is not None:
+            return self._on_recovery_op()
         if self._poke_budget is None:
             return _WRITE_OK
         if self._poke_budget > 0:
             self._poke_budget -= 1
+            return _WRITE_OK
+        self._power_lost = True
+        self.stats.power_cuts += 1
+        return _WRITE_FATAL
+
+    def _on_recovery_op(self) -> int:
+        """One mutation crossed the armed recovery budget (either plane)."""
+        if self._recovery_budget > 0:
+            self._recovery_budget -= 1
+            self.stats.recovery_ops += 1
             return _WRITE_OK
         self._power_lost = True
         self.stats.power_cuts += 1
@@ -316,6 +369,7 @@ class FaultyNVMDevice(NVMDevice):
         injector = self.injector
         if (
             injector._poke_budget is None
+            and injector._recovery_budget is None
             and not injector._power_lost
             and not self._remap
             and not self._stuck
@@ -493,7 +547,19 @@ class FaultyNVMDevice(NVMDevice):
         untouched until the cut.  Device geometry (spare layout, fault
         block size) is fixed at construction and must match; the remap
         table is physical state and survives, like ``restore_power``.
+
+        Tripwire: replacing the injector while a nested fault (poke or
+        recovery budget) is armed but has not fired would silently
+        disarm it — the sweep would then count a vacuous pass.  That
+        holds regardless of the residual budget in ``faults`` (zero
+        residual budgets are legal and arm the very next write).
         """
+        if self.injector.pending_nested_fault:
+            raise AssertionError(
+                "rearm would silently disarm a pending nested fault "
+                "(poke/recovery budget armed but unfired); let it fire "
+                "or restore_power() first"
+            )
         self.faults = faults
         self.injector = FaultInjector(faults)
         self._stuck = set(faults.stuck_blocks)

@@ -19,7 +19,10 @@ from typing import Optional
 
 from repro.common.config import FaultConfig
 
-ARTIFACT_VERSION = 1
+# Version 2 added the nested-fault fields (phase / nested_after_ops /
+# nested_torn / idempotence_k); version-1 artifacts still load, with the
+# nested stage absent (a plain forward-crash case).
+ARTIFACT_VERSION = 2
 
 
 def plan_to_dict(plan: FaultConfig) -> dict:
@@ -53,6 +56,15 @@ class CrashArtifact:
     # message.  Replay checks it reproduces the same outcome.
     failure: Optional[str] = None
     fingerprint: str = ""
+    # Nested-fault stage (version 2): which sweep phase produced the
+    # case ("forward", "recovery", "gc", or "gc-media"), the recovery-op
+    # boundary of the second cut (None = no nested fault), whether that
+    # cut was torn, and how many extra crash+recover cycles the
+    # idempotence oracle ran.
+    phase: str = "forward"
+    nested_after_ops: Optional[int] = None
+    nested_torn: bool = False
+    idempotence_k: int = 0
     version: int = ARTIFACT_VERSION
     notes: list = field(default_factory=list)
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from repro.check.sanitizer import NULL_CHECKER
-from repro.common.errors import MediaError, TransientReadError
+from repro.common.errors import ReadRetryExhaustedError, TransientReadError
 from repro.nvm.device import NVMDevice
 from repro.telemetry.hub import NULL_TELEMETRY, STALL_EVENT_NS
 
@@ -46,10 +46,13 @@ class PortStats:
     sync_wait_ns: float = 0.0
     # Fault tolerance (non-zero only with injection enabled): transient
     # media read errors retried, the simulated time spent backing off,
-    # and reads abandoned after the retry budget.
+    # reads abandoned after the retry budget, and the worst single
+    # operation's attempt count (retries are budgeted per operation, so
+    # this gauge never exceeds max_read_retries + 1).
     read_retries: int = 0
     retry_wait_ns: float = 0.0
     reads_failed: int = 0
+    max_attempts_one_read: int = 0
 
 
 class MemoryPort:
@@ -131,8 +134,13 @@ class MemoryPort:
         bounded exponential backoff *in simulated time*: each failed
         attempt still occupied the channel and burned energy, and every
         retry pushes the completion time further out — which is how
-        injected read errors surface in the latency model.  Exhausting
-        the budget raises :class:`~repro.common.errors.MediaError`.
+        injected read errors surface in the latency model.  The budget
+        is per-operation: every read starts with a fresh
+        ``max_read_retries`` allowance regardless of how many earlier
+        reads faulted.  Exhausting it raises
+        :class:`~repro.common.errors.ReadRetryExhaustedError` (a
+        :class:`~repro.common.errors.MediaError`) carrying the failing
+        address.
         """
         try:
             data, result = self.device.read(addr, size, now_ns)
@@ -153,10 +161,17 @@ class MemoryPort:
         faults = self.device.faults  # only faulty devices raise
         completion = fault.completion_ns
         stats = self.stats
-        for attempt in range(1, faults.max_read_retries + 1):
-            backoff = faults.retry_backoff_ns * (2 ** (attempt - 1))
+        # `attempts` counts this operation's tries only (the initial
+        # faulted read plus each retry below); the global stats counters
+        # aggregate across operations but never gate the budget.
+        attempts = 1
+        for retry in range(1, faults.max_read_retries + 1):
+            backoff = faults.retry_backoff_ns * (2 ** (retry - 1))
+            attempts += 1
             stats.read_retries += 1
             stats.retry_wait_ns += backoff
+            if attempts > stats.max_attempts_one_read:
+                stats.max_attempts_one_read = attempts
             if self.telemetry.enabled:
                 self.telemetry.count("port.read_retries")
             try:
@@ -167,10 +182,7 @@ class MemoryPort:
             except TransientReadError as again:
                 completion = again.completion_ns
         stats.reads_failed += 1
-        raise MediaError(
-            f"read at {addr:#x} still failing after "
-            f"{faults.max_read_retries} retries"
-        ) from fault
+        raise ReadRetryExhaustedError(addr, attempts) from fault
 
     # -- fences ----------------------------------------------------------------
 

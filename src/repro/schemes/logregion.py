@@ -272,7 +272,18 @@ class AppendLog:
         self._cursor = cursor
 
     def reset(self, now_ns: float = 0.0) -> None:
-        """Post-recovery: restart the log empty (fresh lap)."""
+        """Post-recovery: restart the log empty (fresh lap).
+
+        Idempotent: when the log is already empty at a lap boundary —
+        the state every completed ``reset`` leaves behind, and what a
+        re-run of recovery scans back — there is nothing stale reachable
+        under this lap's magic salt, so advancing another lap would only
+        dirty the durable header.  Recovery must be re-runnable with
+        bit-identical durable state (the nested-fault sweep's
+        idempotence oracle), so skip the rewrite.
+        """
+        if self._start == self._cursor and self._cursor % self._data_bytes == 0:
+            return
         lap = self._cursor // self._data_bytes + 1
         self._start = self._cursor = lap * self._data_bytes
         self._persist_header(now_ns)

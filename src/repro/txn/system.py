@@ -21,7 +21,11 @@ from typing import Optional, Union
 from repro.check.sanitizer import NULL_CHECKER
 from repro.common.addr import CACHE_LINE_BYTES, split_by_cache_line
 from repro.common.config import SystemConfig
-from repro.common.errors import AddressError, TransactionError
+from repro.common.errors import (
+    AddressError,
+    PowerLossError,
+    TransactionError,
+)
 from repro.faults import make_device
 from repro.memhier.hierarchy import CacheHierarchy
 from repro.nvm.device import NVMDevice
@@ -89,6 +93,11 @@ class MemorySystem:
             self.scheme.attach_checker(self.check)
         self.clocks = [0.0] * self.config.num_cores
         self.committed_transactions = 0
+        # Recovery-attempt accounting (nested-fault sweep): how many
+        # times recover() was entered and how many of those attempts a
+        # nested power cut interrupted before they finished.
+        self.recovery_attempts = 0
+        self.recovery_interruptions = 0
         # Critical-path latency accumulator (Fig. 7b): sum/count/max of
         # Tx_begin→Tx_end times, cheap enough to leave always-on.
         self.latency_sum_ns = 0.0
@@ -145,10 +154,26 @@ class MemorySystem:
         threads: int = 1,
         bandwidth_gb_per_s: Optional[float] = None,
     ):
-        """Run the scheme's recovery; returns its report (or None)."""
-        return self.scheme.recover(
-            threads=threads, bandwidth_gb_per_s=bandwidth_gb_per_s
-        )
+        """Run the scheme's recovery; returns its report (or None).
+
+        Counts every attempt, and separately every attempt a *nested*
+        power cut interrupted (the exception still propagates — the
+        caller decides whether to crash() and retry).  The counters land
+        on telemetry as ``recovery.attempts`` / ``recovery.interrupted``
+        when a hub is attached.
+        """
+        self.recovery_attempts += 1
+        if self._tel_on:
+            self.telemetry.count("recovery.attempts")
+        try:
+            return self.scheme.recover(
+                threads=threads, bandwidth_gb_per_s=bandwidth_gb_per_s
+            )
+        except PowerLossError:
+            self.recovery_interruptions += 1
+            if self._tel_on:
+                self.telemetry.count("recovery.interrupted")
+            raise
 
     def durable_state(self, addr: int, size: int) -> bytes:
         """Raw NVM bytes (no caches) — the post-recovery truth for tests."""

@@ -11,7 +11,7 @@ import pytest
 
 from repro import FaultConfig, SystemConfig
 from repro.common.errors import MediaError, PowerLossError
-from repro.faults import FaultyNVMDevice, make_device
+from repro.faults import FaultyNVMDevice, ReadRetryExhaustedError, make_device
 from repro.memctrl.port import MemoryPort
 from repro.nvm.device import NVMDevice
 
@@ -146,6 +146,93 @@ class TestTransientReads:
             for _ in range(10):
                 port.read(4096, 64, 0.0)
         assert port.stats.reads_failed == 1
+
+
+class TestRetryExhaustion:
+    def test_exhaustion_error_carries_address_and_attempts(self):
+        # Retry budget 2, rate ~1: the op burns its initial read plus
+        # both retries, then surfaces a typed error naming the address.
+        faults = FaultConfig(
+            enabled=True, seed=5, read_error_rate=0.95, max_read_retries=2
+        )
+        device = FaultyNVMDevice(faults=faults)
+        device.write(4096, b"q" * 64, 0.0)
+        port = MemoryPort(device)
+        with pytest.raises(ReadRetryExhaustedError) as info:
+            for _ in range(50):
+                port.read(4096, 64, 0.0)
+        assert info.value.addr == 4096
+        assert info.value.attempts == 3  # initial + max_read_retries
+        # Subclass: existing MediaError handlers keep working.
+        assert isinstance(info.value, MediaError)
+
+    def test_retry_budget_is_per_operation_not_cumulative(self):
+        # Many operations each fault a little; the *sum* of transient
+        # faults far exceeds one op's budget, yet no read is abandoned
+        # because each operation's attempt counter starts fresh.
+        faults = FaultConfig(
+            enabled=True, seed=5, read_error_rate=0.25, max_read_retries=6
+        )
+        device = FaultyNVMDevice(faults=faults)
+        device.write(4096, b"q" * 64, 0.0)
+        port = MemoryPort(device)
+        for _ in range(200):
+            data, _ = port.read(4096, 64, 0.0)
+            assert data == b"q" * 64
+        assert device.fault_stats.transient_read_faults > 6
+        assert port.stats.reads_failed == 0
+        assert 0 < port.stats.max_attempts_one_read <= 7
+
+
+class TestNestedFaultArming:
+    def test_recovery_budget_counts_both_mutation_planes(self):
+        device = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        device.injector.arm_recovery_fault(after_ops=3)
+        device.write(4096, b"a" * 64, 0.0)  # op 1: timed write
+        device.poke(8192, b"b")  # op 2: functional poke
+        device.write(4160, b"c" * 64, 0.0)  # op 3: timed write
+        with pytest.raises(PowerLossError):
+            device.poke(8200, b"d")  # op 4 is the cut instant
+        assert device.fault_stats.recovery_ops == 3
+        assert device.fault_stats.power_cuts == 1
+        # Dead until power is restored, like any power cut.
+        with pytest.raises(PowerLossError):
+            device.write(4096, b"e" * 64, 0.0)
+        device.restore_power()
+        device.write(4096, b"e" * 64, 0.0)
+
+    def test_zero_budget_cuts_the_next_op(self):
+        device = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        device.injector.arm_recovery_fault(after_ops=0)
+        with pytest.raises(PowerLossError):
+            device.poke(4096, b"x")
+
+    def test_rearm_cannot_silently_disarm_pending_nested_fault(self):
+        device = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        device.injector.arm_recovery_fault(after_ops=5)
+        with pytest.raises(AssertionError):
+            device.rearm(FaultConfig(enabled=True))
+        # Explicitly disarming first makes rearm legal again.
+        device.restore_power()
+        device.rearm(FaultConfig(enabled=True))
+        device.write(4096, b"x" * 64, 0.0)
+
+    def test_rearm_tripwire_covers_zero_residual_budget(self):
+        # A zero budget is still pending (it fires on the *next* op) —
+        # the invariant must not treat it as already spent.
+        device = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        device.injector.arm_recovery_fault(after_ops=0)
+        with pytest.raises(AssertionError):
+            device.rearm(FaultConfig(enabled=True))
+
+    def test_rearm_legal_after_nested_fault_fired(self):
+        device = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        device.injector.arm_recovery_fault(after_ops=0)
+        with pytest.raises(PowerLossError):
+            device.poke(4096, b"x")
+        # Fired: the pending flag clears with the power loss.
+        device.rearm(FaultConfig(enabled=True))
+        device.write(4096, b"x" * 64, 0.0)
 
 
 class TestStuckBlocks:

@@ -93,6 +93,89 @@ def test_key_digest_is_stable_and_discriminating():
     assert diskcache.code_fingerprint() == diskcache.code_fingerprint()
 
 
+def _flaky_worker(spec):
+    """Fails each cell's first attempt, then computes it for real."""
+    import os
+    import pathlib
+
+    marker = pathlib.Path(os.environ["REPRO_TEST_FLAKY_DIR"]) / spec.scheme
+    if not marker.exists():
+        marker.write_text("tried")
+        raise RuntimeError("transient worker failure")
+    return parallel._run_spec(spec)
+
+
+def _poison_worker(spec):
+    """One scheme never succeeds; the rest compute normally."""
+    if spec.scheme == "hoop":
+        raise RuntimeError("poisoned cell")
+    return parallel._run_spec(spec)
+
+
+def _hang_worker(spec):
+    """One scheme hangs far past any test timeout."""
+    import time as _time
+
+    if spec.scheme == "hoop":
+        _time.sleep(600)
+    return parallel._run_spec(spec)
+
+
+class TestFaultTolerance:
+    def test_transient_worker_failure_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAKY_DIR", str(tmp_path / "flaky"))
+        (tmp_path / "flaky").mkdir()
+        report = parallel.run_matrix(
+            _SPECS, jobs=2, use_cache=False,
+            retries=2, backoff_base_s=0.01, worker=_flaky_worker,
+        )
+        assert report.retries_total == len(_SPECS)  # one retry each
+        assert not report.quarantined
+        assert set(report.results) == {s.name for s in _SPECS}
+
+    def test_poisoned_cell_quarantined_without_failing_matrix(self):
+        report = parallel.run_matrix(
+            _SPECS, jobs=2, use_cache=False,
+            retries=1, backoff_base_s=0.01, worker=_poison_worker,
+        )
+        assert len(report.quarantined) == 1
+        bad = report.quarantined[0]
+        assert bad.name == "hoop/vector"
+        assert bad.attempts == 2  # initial + 1 retry
+        assert "poisoned" in bad.reason
+        # The healthy cell still completed.
+        assert "native/vector" in report.results
+        assert "hoop/vector" not in report.results
+
+    def test_hung_worker_is_killed_and_quarantined(self):
+        report = parallel.run_matrix(
+            _SPECS, jobs=2, use_cache=False,
+            timeout_s=1.0, retries=0, backoff_base_s=0.01,
+            worker=_hang_worker,
+        )
+        assert len(report.quarantined) == 1
+        assert report.quarantined[0].name == "hoop/vector"
+        assert "timed out" in report.quarantined[0].reason
+        assert "native/vector" in report.results
+
+    def test_sequential_path_retries_and_quarantines(self, monkeypatch):
+        calls = {"n": 0}
+
+        def _always_raise(*args, **kwargs):
+            calls["n"] += 1
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(experiments, "run_cell", _always_raise)
+        report = parallel.run_matrix(
+            _SPECS[:1], jobs=1, use_cache=False,
+            retries=2, backoff_base_s=0.01,
+        )
+        assert calls["n"] == 3  # initial + 2 retries
+        assert len(report.quarantined) == 1
+        assert report.quarantined[0].attempts == 3
+        assert not report.results
+
+
 def test_memo_is_lru_bounded():
     limit = experiments._CELL_CACHE_MAX
     for i in range(limit + 16):
