@@ -134,6 +134,72 @@ def bench_crashtest(
     }
 
 
+def bench_serve(
+    *,
+    seed: int = 7,
+    schemes: Optional[Sequence[str]] = None,
+    rate_per_s: float = 60_000.0,
+    duration_ms: float = 10.0,
+) -> dict:
+    """Time the serving layer per scheme, plus one failover run.
+
+    Each scheme serves the same deterministic open-loop trace through a
+    4-shard cluster; the ``failover`` cell additionally kills a shard
+    mid-traffic and rides through recovery.  Every cell reports wall
+    seconds (gated by :func:`check_against_baseline` like the other
+    benchmarks) alongside the simulated serving metrics — sustained
+    requests/s and p99 latency — so scheme-level serving regressions
+    are visible even when wall time is not the symptom.  Any
+    acknowledged-write loss turns up in ``oracle_failures`` and fails
+    the gate outright.
+    """
+    import time
+
+    from repro.serve import ServeConfig, run_serve
+
+    names = list(schemes or ("hoop", "opt-redo", "opt-undo", "lad"))
+    cells = {}
+    failures: List[str] = []
+    base = ServeConfig(
+        shards=4,
+        clients=8,
+        rate_per_s=rate_per_s,
+        duration_ms=duration_ms,
+        seed=seed,
+    )
+    runs = [(name, base.replace(scheme=name)) for name in names]
+    runs.append(
+        (
+            "failover",
+            base.replace(
+                kill_shard=1, kill_at_ms=duration_ms * 0.4
+            ),
+        )
+    )
+    for cell_name, cfg in runs:
+        t0 = time.perf_counter()
+        report = run_serve(cfg)
+        elapsed = time.perf_counter() - t0
+        cells[f"serve/{cell_name}"] = {
+            "seconds": round(elapsed, 4),
+            "source": "computed",
+            "requests_per_s": round(report.requests_per_s, 1),
+            "p99_latency_ns": report.latency["p99"],
+            "acked": report.acked_puts + report.acked_gets,
+            "kills": report.kills,
+        }
+        failures.extend(report.oracle_failures)
+    return {
+        "schema": SCHEMA_VERSION,
+        "seed": seed,
+        "rate_per_s": rate_per_s,
+        "duration_ms": duration_ms,
+        "python": platform.python_version(),
+        "oracle_failures": failures,
+        "cells": cells,
+    }
+
+
 def write_report(payload: dict, out_path: pathlib.Path) -> None:
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

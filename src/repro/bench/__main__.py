@@ -55,12 +55,46 @@ def main(argv=None) -> int:
         "--crashtest-sample", type=int, default=200,
         help="sampled boundaries per scheme for --crashtest",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="benchmark the sharded serving layer (per scheme + one"
+        " failover run) instead of the experiment matrix",
+    )
+    parser.add_argument(
+        "--serve-rate", type=float, default=60_000.0,
+        help="aggregate offered load for --serve (requests/s)",
+    )
+    parser.add_argument(
+        "--serve-duration-ms", type=float, default=10.0,
+        help="simulated arrival window for --serve (ms)",
+    )
     args = parser.parse_args(argv)
 
     if args.no_cache:
         os.environ["REPRO_NO_CACHE"] = "1"
 
-    if args.crashtest:
+    if args.serve:
+        if args.out == "BENCH_harness.json":
+            args.out = "BENCH_serve.json"
+        payload = bench.bench_serve(
+            rate_per_s=args.serve_rate,
+            duration_ms=args.serve_duration_ms,
+        )
+        out_path = pathlib.Path(args.out)
+        bench.write_report(payload, out_path)
+        total_s = sum(
+            cell["seconds"] for cell in payload["cells"].values()
+        )
+        print(
+            f"[bench] serve: {len(payload['cells'])} cells,"
+            f" {total_s:.2f}s wall -> {out_path}"
+        )
+        if payload["oracle_failures"]:
+            for failure in payload["oracle_failures"]:
+                print(f"[bench] ACKED-WRITE LOSS {failure}",
+                      file=sys.stderr)
+            return 1
+    elif args.crashtest:
         if args.out == "BENCH_harness.json":
             args.out = "BENCH_crashtest.json"
         payload = bench.bench_crashtest(sample=args.crashtest_sample)

@@ -91,6 +91,11 @@ class FaultInjector:
         # (log-header persists, slot rewrites, region clears), so a
         # crash-during-recovery boundary must count both.
         self._recovery_budget: Optional[int] = None
+        # Deadline-based power loss (simulated time): the first timed
+        # write at or after this instant is the fatal one.  How the
+        # serving layer kills a shard "at t ms into the run" without
+        # having to predict its write count.
+        self._deadline_ns: Optional[float] = None
         self._torn = config.torn
         self._power_lost = False
 
@@ -113,6 +118,24 @@ class FaultInjector:
             self._write_budget = after_writes
         if after_pokes is not None:
             self._poke_budget = after_pokes
+        if torn is not None:
+            self._torn = torn
+
+    def arm_power_loss_at(
+        self, deadline_ns: float, *, torn: Optional[bool] = None
+    ) -> None:
+        """Arm a wall-of-simulated-time power cut.
+
+        The first *timed* write whose issue instant is at or after
+        ``deadline_ns`` becomes the fatal write (untimed pokes carry no
+        timestamp and never trip the deadline).  Used by
+        :mod:`repro.serve` to kill one shard mid-traffic at a chosen
+        point of the run; cleared by :meth:`restore_power` like every
+        other budget, so recovery writes on restored power survive.
+        """
+        if deadline_ns < 0:
+            raise ValueError("power-loss deadline must be >= 0")
+        self._deadline_ns = deadline_ns
         if torn is not None:
             self._torn = torn
 
@@ -152,6 +175,7 @@ class FaultInjector:
         self._write_budget = None
         self._poke_budget = None
         self._recovery_budget = None
+        self._deadline_ns = None
 
     @property
     def power_lost(self) -> bool:
@@ -159,12 +183,16 @@ class FaultInjector:
 
     # -- per-access decisions -----------------------------------------------------
 
-    def on_timed_write(self) -> int:
+    def on_timed_write(self, now_ns: float = 0.0) -> int:
         if self._power_lost:
             self.stats.writes_lost += 1
             return _WRITE_DEAD
         if self._recovery_budget is not None:
             return self._on_recovery_op()
+        if self._deadline_ns is not None and now_ns >= self._deadline_ns:
+            self._power_lost = True
+            self.stats.power_cuts += 1
+            return _WRITE_FATAL
         if self._write_budget is None:
             return _WRITE_OK
         if self._write_budget > 0:
@@ -449,7 +477,7 @@ class FaultyNVMDevice(NVMDevice):
         size = len(data)
         if addr < 0 or addr + size > self._visible_capacity:
             self._check_visible(addr, size)
-        verdict = self.injector.on_timed_write()
+        verdict = self.injector.on_timed_write(now_ns)
         if verdict == _WRITE_OK and not self._stuck and not self._remap:
             # Healthy path: no stuck block to remap, identity translation
             # and no remap penalty — the base-class write is equivalent.

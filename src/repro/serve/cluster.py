@@ -1,0 +1,376 @@
+"""The sharded serving cluster: event loop, shards, and failover.
+
+One :class:`ServeCluster` owns N :class:`Shard` machines (each a full
+:class:`~repro.txn.system.MemorySystem` running the configured
+persistence scheme on a fault-injectable NVM device), the consistent-
+hash router, the admission queues, the batch scheduler, open-loop
+clients, and the acked-write oracle.  Everything runs in *simulated*
+time on a single deterministic event loop.
+
+Scheduling is the same min-clock discipline as
+:class:`~repro.workloads.driver.WorkloadDriver`: a heap of
+``(time_ns, seq, …)`` events is always popped in nondecreasing time
+order, so shared decisions (admission, batching, failover) are made in
+a globally consistent timeline while each shard's own clock advances
+independently through its transactions.  Ties break on a monotone
+sequence number — the loop is a pure function of the config and seed.
+
+Failover: an armed deadline power cut
+(:meth:`~repro.faults.injector.FaultInjector.arm_power_loss_at`) kills
+one shard mid-batch.  The cluster catches the
+:class:`~repro.common.errors.PowerLossError`, drives the standard
+``crash()``/``recover()`` path, verifies the shard against the
+acked-write oracle (including all-or-nothing for the in-flight batch),
+holds the shard RECOVERING for the recovery model's simulated duration
+while its queue keeps absorbing traffic (overflow sheds with typed
+retryable rejections), requeues the failed batch, and resumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.common import rng as rng_util
+from repro.common.config import FaultConfig, SystemConfig
+from repro.common.errors import PowerLossError
+from repro.serve.admission import AdmissionController, RetryableRejection
+from repro.serve.batcher import BatchScheduler
+from repro.serve.client import OP_GET, Request, make_clients
+from repro.serve.oracle import AckOracle, value_words
+from repro.serve.router import ConsistentHashRouter
+from repro.telemetry.hub import Telemetry
+from repro.txn.system import MemorySystem
+
+# Shard lifecycle states.
+UP = "up"
+RECOVERING = "recovering"
+
+# Event kinds: a client's next arrival, or a shard wake-up (batch
+# deadline, busy-until, or recovery completion — the pump sorts it out).
+_ARRIVAL = 0
+_WAKE = 1
+
+
+class Shard:
+    """One shard: a simulated NVM machine plus its slice of the keyspace."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        scheme: str,
+        keys: List[int],
+        value_bytes: int,
+        seed: int,
+        telemetry: Telemetry,
+    ) -> None:
+        faults = FaultConfig(
+            enabled=True,
+            seed=rng_util.derive(seed, "shard", shard_id, "faults"),
+        )
+        config = SystemConfig.small().replace(faults=faults)
+        self.system = MemorySystem(config, scheme=scheme, telemetry=telemetry)
+        self.shard_id = shard_id
+        self.value_bytes = value_bytes
+        # Slot directory: a pure function of (router, keyspace) — see
+        # ConsistentHashRouter.partition — so it survives any crash by
+        # recomputation, never by being volatile runtime state.
+        self._slot = {key: index for index, key in enumerate(keys)}
+        self.base = self.system.allocate(max(1, len(keys)) * value_bytes)
+        self.state = UP
+        self.recover_at_ns = 0.0
+        self.kills = 0
+        self.recoveries = 0
+        self.acked = 0
+
+    def addr_of(self, key: int) -> int:
+        """Home-region address of one key's value slot."""
+        return self.base + self._slot[key] * self.value_bytes
+
+    @property
+    def clock_ns(self) -> float:
+        """The shard's service clock (core 0 does all the serving)."""
+        return self.system.clocks[0]
+
+
+class ServeCluster:
+    """N shards behind a router, driven by one simulated-time event loop."""
+
+    def __init__(self, cfg, *, telemetry: Optional[Telemetry] = None) -> None:
+        self.cfg = cfg
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        shard_ids = list(range(cfg.shards))
+        self.router = ConsistentHashRouter(shard_ids, seed=cfg.seed)
+        partition = self.router.partition(cfg.keyspace)
+        self.shards: Dict[int, Shard] = {
+            shard_id: Shard(
+                shard_id,
+                scheme=cfg.scheme,
+                keys=partition[shard_id],
+                value_bytes=cfg.value_bytes,
+                seed=cfg.seed,
+                telemetry=self.telemetry,
+            )
+            for shard_id in shard_ids
+        }
+        self.admission = AdmissionController(
+            shard_ids, queue_depth=cfg.queue_depth
+        )
+        self.batcher = BatchScheduler(
+            batch_size=cfg.batch_size,
+            batch_wait_ns=cfg.batch_wait_us * 1e3,
+        )
+        self.oracle = AckOracle(shard_ids)
+        self.now_ns = 0.0
+        self.offered = 0
+        self.admitted = 0
+        self.acked_puts = 0
+        self.acked_gets = 0
+        self.retried = 0
+        self.shed_on_failover = 0
+        self.batches = 0
+        self.oracle_failures: List[str] = []
+        self.last_completion_ns = 0.0
+        self._events: List[tuple] = []
+        self._seq = 0
+
+    # -- event plumbing -------------------------------------------------------
+
+    def _push(self, time_ns: float, kind: int, arg: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time_ns, self._seq, kind, arg))
+
+    # -- the run --------------------------------------------------------------
+
+    def run(self) -> None:
+        """Drive the whole open-loop run to completion (queues drained)."""
+        cfg = self.cfg
+        clients = make_clients(
+            cfg.clients,
+            aggregate_rate_per_s=cfg.rate_per_s,
+            duration_ns=cfg.duration_ms * 1e6,
+            keyspace=cfg.keyspace,
+            value_bytes=cfg.value_bytes,
+            read_fraction=cfg.read_fraction,
+            zipf_theta=cfg.zipf_theta,
+            seed=cfg.seed,
+        )
+        pending: Dict[int, Request] = {}
+        for client_id, client in clients.items():
+            request = client.next_request()
+            if request is not None:
+                pending[client_id] = request
+                self._push(request.arrival_ns, _ARRIVAL, client_id)
+        if cfg.kill_shard is not None:
+            kill_at_ms = (
+                cfg.kill_at_ms
+                if cfg.kill_at_ms is not None
+                else cfg.duration_ms * 0.4
+            )
+            shard = self.shards[cfg.kill_shard]
+            shard.system.device.injector.arm_power_loss_at(
+                kill_at_ms * 1e6, torn=cfg.torn_kill
+            )
+        while self._events:
+            time_ns, _, kind, arg = heapq.heappop(self._events)
+            if time_ns > self.now_ns:
+                self.now_ns = time_ns
+            if kind == _ARRIVAL:
+                request = pending.pop(arg)
+                nxt = clients[arg].next_request()
+                if nxt is not None:
+                    pending[arg] = nxt
+                    self._push(nxt.arrival_ns, _ARRIVAL, arg)
+                self._admit(request)
+                self._pump(request.shard)
+            else:
+                self._pump(arg)
+        if cfg.verify_final:
+            self._final_verify()
+
+    # -- admission ------------------------------------------------------------
+
+    def _admit(self, request: Request) -> None:
+        request.shard = self.router.shard_for(request.key)
+        shard = self.shards[request.shard]
+        self.offered += 1
+        recovering = shard.state == RECOVERING
+        if recovering:
+            retry_after = max(shard.recover_at_ns - self.now_ns, 0.0)
+        else:
+            retry_after = self.batcher.batch_wait_ns
+        try:
+            self.admission.admit(
+                request, recovering=recovering, retry_after_ns=retry_after
+            )
+        except RetryableRejection as rejection:
+            self.telemetry.emit(
+                self.now_ns,
+                "serve_reject",
+                "serve",
+                {"shard": request.shard, "kind": rejection.kind},
+            )
+            return
+        self.admitted += 1
+        self.telemetry.record(
+            f"shard{request.shard}/queue_depth",
+            self.admission.depth(request.shard),
+        )
+        self.telemetry.sample(
+            f"shard{request.shard}/admitted", self.now_ns
+        )
+
+    # -- the shard pump -------------------------------------------------------
+
+    def _pump(self, shard_id: int) -> None:
+        """Advance one shard: recovery completion, then batch formation."""
+        shard = self.shards[shard_id]
+        if shard.state == RECOVERING:
+            if self.now_ns + 1e-9 < shard.recover_at_ns:
+                return  # the recovery-completion wake is already queued
+            self._complete_recovery(shard)
+        if shard.clock_ns > self.now_ns + 1e-9:
+            # Busy until its clock; re-pump then.
+            self._push(shard.clock_ns, _WAKE, shard_id)
+            return
+        queue = self.admission.queues[shard_id]
+        if not queue:
+            return
+        if self.batcher.ready(queue, self.now_ns):
+            self._execute_batch(shard)
+        else:
+            self._push(self.batcher.deadline_ns(queue), _WAKE, shard_id)
+
+    # -- batch execution ------------------------------------------------------
+
+    def _execute_batch(self, shard: Shard) -> None:
+        """One batch: GET loads, then all PUTs as one transaction."""
+        system = shard.system
+        batch = self.batcher.take(self.admission.queues[shard.shard_id])
+        start = max(self.now_ns, shard.clock_ns)
+        system.clocks[0] = start
+        self.telemetry.record("batch_size", len(batch))
+        puts: List[Request] = []
+        try:
+            for request in batch:
+                if request.op != OP_GET:
+                    puts.append(request)
+                    continue
+                system.load(
+                    shard.addr_of(request.key),
+                    shard.value_bytes,
+                    core=0,
+                )
+                request.completion_ns = system.clocks[0]
+                self._ack(shard, request)
+            stores = [
+                (shard.addr_of(request.key), request.value)
+                for request in puts
+            ]
+            tx = system.run_batch(stores, core=0) if stores else None
+        except PowerLossError as exc:
+            issued = getattr(exc, "issued_stores", [])
+            staged: Dict[int, bytes] = {}
+            for addr, value in issued:
+                for word_addr, word in value_words(addr, value):
+                    staged[word_addr] = word
+            unacked = [r for r in batch if r.completion_ns <= 0.0]
+            self._failover(shard, staged, unacked)
+            return
+        if tx is not None:
+            completion = tx.end_ns
+            for request in puts:
+                request.completion_ns = completion
+                self.oracle.record_ack(
+                    shard.shard_id,
+                    shard.addr_of(request.key),
+                    request.value,
+                )
+                self._ack(shard, request)
+        self.batches += 1
+        self._push(shard.clock_ns, _WAKE, shard.shard_id)
+
+    def _ack(self, shard: Shard, request: Request) -> None:
+        """Acknowledgement instant: count + latency histograms."""
+        latency = request.latency_ns
+        if request.op == OP_GET:
+            self.acked_gets += 1
+        else:
+            self.acked_puts += 1
+        shard.acked += 1
+        if request.completion_ns > self.last_completion_ns:
+            self.last_completion_ns = request.completion_ns
+        self.telemetry.record("request_latency_ns", latency)
+        self.telemetry.record(
+            f"shard{shard.shard_id}/request_latency_ns", latency
+        )
+
+    # -- failover -------------------------------------------------------------
+
+    def _failover(
+        self,
+        shard: Shard,
+        staged: Dict[int, bytes],
+        unacked: List[Request],
+    ) -> None:
+        """Power died mid-batch: crash, recover, verify, requeue, hold."""
+        system = shard.system
+        shard.kills += 1
+        self.telemetry.emit(
+            self.now_ns,
+            "shard_kill",
+            "serve",
+            {"shard": shard.shard_id, "staged_words": len(staged)},
+        )
+        system.crash()
+        report = system.recover(threads=self.cfg.recovery_threads)
+        failure = self.oracle.verify_shard(system, shard.shard_id, staged)
+        if failure:
+            self.oracle_failures.append(
+                f"shard {shard.shard_id} after kill: {failure}"
+            )
+        elapsed = getattr(report, "elapsed_ns", 0.0) or 0.0
+        recovery_ns = max(elapsed, self.cfg.recovery_floor_ns)
+        shard.state = RECOVERING
+        shard.recover_at_ns = self.now_ns + recovery_ns
+        fitted = self.admission.requeue_front(unacked)
+        self.retried += fitted
+        self.shed_on_failover += len(unacked) - fitted
+        self.telemetry.emit(
+            self.now_ns,
+            "shard_recovering",
+            "serve",
+            {
+                "shard": shard.shard_id,
+                "recovery_ns": recovery_ns,
+                "requeued": fitted,
+            },
+        )
+        self._push(shard.recover_at_ns, _WAKE, shard.shard_id)
+
+    def _complete_recovery(self, shard: Shard) -> None:
+        """Recovery horizon reached: shard serves again (cold caches)."""
+        shard.state = UP
+        cores = len(shard.system.clocks)
+        shard.system.clocks = [shard.recover_at_ns] * cores
+        shard.recoveries += 1
+        self.telemetry.emit(
+            shard.recover_at_ns,
+            "shard_recovered",
+            "serve",
+            {"shard": shard.shard_id},
+        )
+
+    # -- end-of-run verification ----------------------------------------------
+
+    def _final_verify(self) -> None:
+        """Crash+recover every shard once more; all promises must hold."""
+        for shard_id, shard in sorted(self.shards.items()):
+            shard.system.crash()
+            shard.system.recover(threads=self.cfg.recovery_threads)
+            failure = self.oracle.verify_shard(shard.system, shard_id)
+            if failure:
+                self.oracle_failures.append(
+                    f"shard {shard_id} final sweep: {failure}"
+                )

@@ -70,6 +70,9 @@ class NullTelemetry:
     def record(self, name, value) -> None:
         pass
 
+    def sample(self, name, ts_ns, value=1.0) -> None:
+        pass
+
     def add_write_traffic(self, ts_ns, nbytes) -> None:
         pass
 
@@ -97,6 +100,7 @@ class Telemetry(NullTelemetry):
         "histograms",
         "commit_series",
         "write_traffic_series",
+        "named_series",
     )
     enabled = True
 
@@ -116,6 +120,9 @@ class Telemetry(NullTelemetry):
         # (throughput and write-traffic time-series).
         self.commit_series = EpochSeries(epoch_ns, max_epochs)
         self.write_traffic_series = EpochSeries(epoch_ns, max_epochs)
+        # Caller-named epoch series (e.g. per-shard admitted-request
+        # rates from repro.serve), created on first sample().
+        self.named_series: Dict[str, EpochSeries] = {}
 
     # -- events ---------------------------------------------------------------
 
@@ -146,6 +153,20 @@ class Telemetry(NullTelemetry):
 
     def record(self, name: str, value: float) -> None:
         self.hist(name).record(value)
+
+    def series(self, name: str) -> EpochSeries:
+        """Get-or-create a named epoch series (same budget as commits)."""
+        series = self.named_series.get(name)
+        if series is None:
+            series = EpochSeries(
+                self.commit_series.epoch_ns, self.commit_series.max_epochs
+            )
+            self.named_series[name] = series
+        return series
+
+    def sample(self, name: str, ts_ns: float, value: float = 1.0) -> None:
+        """Fold ``value`` into the named series' epoch at ``ts_ns``."""
+        self.series(name).add(ts_ns, value)
 
     # -- composite hooks ------------------------------------------------------
 
@@ -184,6 +205,7 @@ class Telemetry(NullTelemetry):
             self.write_traffic_series.epoch_ns,
             self.write_traffic_series.max_epochs,
         )
+        self.named_series = {}
 
     # -- summaries ------------------------------------------------------------
 
@@ -217,6 +239,10 @@ class Telemetry(NullTelemetry):
             "series": {
                 "commits": self.commit_series.summary(),
                 "write_bytes": self.write_traffic_series.summary(),
+                **{
+                    name: series.summary()
+                    for name, series in sorted(self.named_series.items())
+                },
             },
         }
 

@@ -110,6 +110,35 @@ class MemorySystem:
         """Open a failure-atomic region on ``core`` (context manager)."""
         return Transaction(self, core)
 
+    def run_batch(self, stores, core: int = 0) -> Transaction:
+        """Execute ordered ``(addr, data)`` stores as one atomic region.
+
+        The per-request surface of the serving layer
+        (:mod:`repro.serve`): a batch of same-shard writes becomes a
+        single ``Tx_begin … Tx_end`` transaction, so the whole batch is
+        acknowledged — or lost — together.  Returns the closed
+        :class:`Transaction`; its ``begin_ns``/``end_ns`` bracket the
+        commit, which is the acknowledgement instant.  A
+        :class:`~repro.common.errors.PowerLossError` mid-batch
+        propagates with the transaction unacknowledged — the caller
+        owns ``crash()``/``recover()`` and any retry policy.  The
+        exception carries ``issued_stores``, the prefix of ``stores``
+        whose store calls had completed when power died (the dying
+        store itself excluded — its effects, if any, are torn), which
+        is exactly the in-flight set a durability oracle must treat as
+        all-or-nothing.
+        """
+        stores = list(stores)
+        tx = self.transaction(core)
+        try:
+            with tx:
+                for addr, data in stores:
+                    tx.store(addr, data)
+        except PowerLossError as exc:
+            exc.issued_stores = stores[: tx.stores]
+            raise
+        return tx
+
     def allocate(self, size: int) -> int:
         """Persistent-heap allocation (home-region address)."""
         return self.heap.allocate(size)

@@ -33,8 +33,15 @@ class ZipfianGenerator:
         self._alpha = 1.0 / (1.0 - theta)
         self._zetan = self._zeta(n, theta)
         self._zeta2 = self._zeta(2, theta)
-        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
-            1.0 - self._zeta2 / self._zetan
+        denominator = 1.0 - self._zeta2 / self._zetan
+        # n <= 2 degenerates Gray et al.'s eta to 0/0; next() resolves
+        # every draw in its first two branches there (u*zeta(n) never
+        # exceeds 1 + 0.5**theta == zeta(2)), so eta is unreachable and
+        # any finite value is correct.
+        self._eta = (
+            (1.0 - (2.0 / n) ** (1.0 - theta)) / denominator
+            if denominator
+            else 0.0
         )
 
     @staticmethod

@@ -99,6 +99,40 @@ class TestPowerLoss:
             device.poke(4098, b"c")
 
 
+class TestDeadlinePowerLoss:
+    """arm_power_loss_at: a wall of simulated time instead of a budget."""
+
+    def test_first_write_at_or_past_deadline_is_fatal(self):
+        device = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        device.injector.arm_power_loss_at(1000.0)
+        device.write(4096, b"a" * 64, 500.0)       # before the wall: fine
+        with pytest.raises(PowerLossError):
+            device.write(4160, b"b" * 64, 1000.0)  # at the wall: fatal
+        assert device.fault_stats.power_cuts == 1
+        # Dead until power is restored, which also clears the deadline.
+        with pytest.raises(PowerLossError):
+            device.write(4096, b"c" * 64, 2000.0)
+        device.restore_power()
+        device.write(4096, b"d" * 64, 3000.0)
+        assert device.peek(4096, 1) == b"d"
+
+    def test_negative_deadline_rejected(self):
+        device = FaultyNVMDevice(faults=FaultConfig(enabled=True))
+        with pytest.raises(ValueError):
+            device.injector.arm_power_loss_at(-1.0)
+
+    def test_torn_flag_passes_through(self):
+        device = FaultyNVMDevice(
+            faults=FaultConfig(enabled=True, seed=9)
+        )
+        device.injector.arm_power_loss_at(100.0, torn=True)
+        with pytest.raises(PowerLossError):
+            device.write(4096, b"x" * 64, 150.0)
+        # Torn cut: some seeded word subset of the dying write landed.
+        landed = device.peek(4096, 64)
+        assert landed != bytes(64) or device.fault_stats.writes_lost
+
+
 class TestTransientReads:
     def test_port_retries_and_succeeds(self):
         faults = FaultConfig(

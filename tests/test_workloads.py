@@ -3,6 +3,8 @@
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import MemorySystem, SystemConfig
 from repro.workloads import WorkloadDriver, ZipfianGenerator, make_workload
@@ -211,3 +213,75 @@ class TestDriver:
             )
 
         assert one_run() == one_run()
+
+
+class TestZipfianEdges:
+    """Skew extremes and degenerate keyspaces stay well-defined."""
+
+    def test_theta_near_zero_is_nearly_uniform(self):
+        zipf = ZipfianGenerator(100, theta=1e-4, rng=random.Random(4))
+        draws = [zipf.next() for _ in range(8000)]
+        assert all(0 <= d < 100 for d in draws)
+        top_hits = sum(1 for d in draws if d < 10)
+        # ~10% of mass on the top decile when skew vanishes.
+        assert 0.05 < top_hits / len(draws) < 0.20
+        assert zipf.expected_top_fraction(10) == pytest.approx(
+            0.1, abs=0.02
+        )
+
+    def test_theta_near_one_is_extremely_skewed(self):
+        zipf = ZipfianGenerator(1000, theta=0.9999, rng=random.Random(5))
+        draws = [zipf.next() for _ in range(5000)]
+        assert all(0 <= d < 1000 for d in draws)
+        top_hits = sum(1 for d in draws if d < 10)
+        # zeta(10)/zeta(1000) ~ 0.39 at theta -> 1: the head carries
+        # vastly more than its 1% uniform share.
+        assert top_hits / len(draws) > 0.3
+        assert zipf.expected_top_fraction(1) > 0.1
+        assert zipf.expected_top_fraction(10) == pytest.approx(
+            top_hits / len(draws), abs=0.05
+        )
+
+    def test_single_key_keyspace_always_rank_zero(self):
+        zipf = ZipfianGenerator(1, theta=0.5, rng=random.Random(6))
+        assert all(zipf.next() == 0 for _ in range(200))
+        assert all(zipf.next_scrambled() == 0 for _ in range(200))
+        assert zipf.expected_top_fraction(1) == pytest.approx(1.0)
+        assert zipf.expected_top_fraction(99) == pytest.approx(1.0)
+
+    def test_scrambled_stays_in_range_at_extremes(self):
+        for n, theta in ((1, 0.9), (2, 1e-4), (7, 0.9999)):
+            zipf = ZipfianGenerator(n, theta=theta, rng=random.Random(7))
+            assert all(0 <= zipf.next_scrambled() < n for _ in range(300))
+
+
+class TestMinClockProperty:
+    """The driver always runs the thread whose clock is furthest behind."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        threads=st.integers(min_value=1, max_value=4),
+        transactions=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_driver_selects_min_clock_thread(self, threads, transactions,
+                                             seed):
+        system = MemorySystem(SystemConfig.small(), scheme="native")
+        workload = make_workload("queue", system, seed=seed)
+        driver = WorkloadDriver(system, threads=threads, seed=seed)
+        selections = []
+        original = workload.do_transaction
+
+        def spying(thread, rng):
+            clocks = system.clocks[:threads]
+            # Invariant: the scheduled thread is (one of) the minimum.
+            assert clocks[thread] == min(clocks)
+            selections.append(clocks[thread])
+            return original(thread, rng)
+
+        workload.do_transaction = spying
+        result = driver.run(workload, transactions, warmup=0)
+        assert result.transactions == transactions
+        assert len(selections) == transactions
+        # Min-clock scheduling implies selection times never go backwards.
+        assert selections == sorted(selections)
