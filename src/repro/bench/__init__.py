@@ -141,17 +141,21 @@ def bench_serve(
     rate_per_s: float = 60_000.0,
     duration_ms: float = 10.0,
 ) -> dict:
-    """Time the serving layer per scheme, plus one failover run.
+    """Time the serving layer per scheme, failover, and replication cost.
 
     Each scheme serves the same deterministic open-loop trace through a
     4-shard cluster; the ``failover`` cell additionally kills a shard
-    mid-traffic and rides through recovery.  Every cell reports wall
-    seconds (gated by :func:`check_against_baseline` like the other
-    benchmarks) alongside the simulated serving metrics — sustained
-    requests/s and p99 latency — so scheme-level serving regressions
-    are visible even when wall time is not the symptom.  Any
-    acknowledged-write loss turns up in ``oracle_failures`` and fails
-    the gate outright.
+    mid-traffic and rides through recovery.  The replication-cost cells
+    (``hoop-r1``, ``hoop-r2``) rerun the hoop trace with synchronous
+    redo shipping to 1 and 2 backups — req/s and p99 versus R is the
+    price of the durability upgrade — and ``hoop-r1-failover`` destroys
+    the primary mid-batch and rides through promotion + rejoin.  Every
+    cell reports wall seconds (gated by :func:`check_against_baseline`
+    like the other benchmarks) alongside the simulated serving metrics
+    — sustained requests/s and p99 latency — so scheme-level serving
+    regressions are visible even when wall time is not the symptom.
+    Any acknowledged-write loss or replica divergence turns up in
+    ``oracle_failures`` and fails the gate outright.
     """
     import time
 
@@ -176,11 +180,24 @@ def bench_serve(
             ),
         )
     )
+    runs.extend(
+        (f"hoop-r{r}", base.replace(replicas=r)) for r in (1, 2)
+    )
+    runs.append(
+        (
+            "hoop-r1-failover",
+            base.replace(
+                replicas=1,
+                kill_primary_at_ms=duration_ms * 0.4,
+                torn_kill=True,
+            ),
+        )
+    )
     for cell_name, cfg in runs:
         t0 = time.perf_counter()
         report = run_serve(cfg)
         elapsed = time.perf_counter() - t0
-        cells[f"serve/{cell_name}"] = {
+        cell = {
             "seconds": round(elapsed, 4),
             "source": "computed",
             "requests_per_s": round(report.requests_per_s, 1),
@@ -188,6 +205,10 @@ def bench_serve(
             "acked": report.acked_puts + report.acked_gets,
             "kills": report.kills,
         }
+        if cfg.replicas:
+            cell["replicas"] = cfg.replicas
+            cell["promotions"] = report.promotions
+        cells[f"serve/{cell_name}"] = cell
         failures.extend(report.oracle_failures)
     return {
         "schema": SCHEMA_VERSION,

@@ -14,13 +14,18 @@ storage service needs:
   requests into single failure-atomic transactions;
 * :mod:`~repro.serve.oracle` — the acked-write durability oracle
   (an acknowledgement is a promise; crashes may not break it);
+* :mod:`~repro.serve.replica` — replication groups: synchronous
+  word-granular redo shipping to R backups, deterministic lease/epoch
+  promotion, rejoin catch-up, and the divergence fingerprint oracle;
 * :mod:`~repro.serve.cluster` — the deterministic simulated-time event
-  loop tying it together, including mid-traffic shard kills and
-  crash/recover failover.
+  loop tying it together, including mid-traffic primary/backup kills
+  and crash/recover/promote failover.
 
-Run it: ``python -m repro.serve --shards 4 --kill-shard 1``.
-Everything is simulated time — a run is a pure function of its
-:class:`ServeConfig`, bit-identical across replays and parallelism.
+Run it: ``python -m repro.serve --shards 4 --kill-shard 1``, or with
+replication: ``python -m repro.serve --replicas 1
+--kill-primary-at-ms 6``.  Everything is simulated time — a run is a
+pure function of its :class:`ServeConfig`, bit-identical across
+replays and parallelism.
 """
 
 from __future__ import annotations
@@ -70,11 +75,41 @@ class ServeConfig:
     recovery_floor_ns: float = 10_000.0
     verify_final: bool = True
     seed: int = 7
+    # Replication (0 = the PR 7 single-machine shard, bit-identical).
+    replicas: int = 0
+    lease_us: float = 250.0
+    apply_every: int = 4
+    kill_primary_at_ms: Optional[float] = None
+    kill_backup_at_ms: Optional[float] = None
+    double_kill_at_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         """Reject configs that cannot serve honestly."""
         if self.shards <= 0:
             raise ConfigError("need at least one shard")
+        if not 0 <= self.replicas <= 4:
+            raise ConfigError(
+                "replicas must be in [0, 4] — every backup is a full "
+                "simulated machine"
+            )
+        if self.replicas == 0:
+            for flag in ("kill_backup_at_ms", "double_kill_at_ms"):
+                if getattr(self, flag) is not None:
+                    raise ConfigError(
+                        f"{flag} requires at least one backup "
+                        "(--replicas >= 1)"
+                    )
+        if self.double_kill_at_ms is not None and (
+            self.kill_primary_at_ms is None
+        ):
+            raise ConfigError(
+                "double_kill_at_ms arms the *promoted* primary — it "
+                "needs a first kill (kill_primary_at_ms)"
+            )
+        if self.lease_us < 0:
+            raise ConfigError("lease_us must be nonnegative")
+        if self.apply_every < 1:
+            raise ConfigError("apply_every must be at least 1")
         if self.scheme not in SERVABLE_SCHEMES:
             raise ConfigError(
                 f"scheme {self.scheme!r} cannot back a serving layer "
@@ -128,6 +163,14 @@ class ServeReport:
     transactions_per_s: float
     latency: Dict[str, float]
     per_shard: Dict[str, dict] = field(default_factory=dict)
+    # Replication (defaulted so pre-replication report payloads still
+    # round-trip through ``ServeReport(**payload)``).
+    replicas: int = 0
+    promotions: int = 0
+    rejoins: int = 0
+    backup_kills: int = 0
+    divergence_checks: int = 0
+    replication: Dict[str, float] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -154,19 +197,35 @@ def run_serve(
     makespan = cluster.last_completion_ns
     acked = cluster.acked_puts + cluster.acked_gets
     committed = sum(
-        shard.system.committed_transactions
-        for shard in cluster.shards.values()
+        replica.system.committed_transactions
+        for group in cluster.groups.values()
+        for replica in group.replicas
     )
     per_shard = {}
-    for shard_id, shard in sorted(cluster.shards.items()):
+    for shard_id, group in sorted(cluster.groups.items()):
         per_shard[str(shard_id)] = {
-            "acked": shard.acked,
-            "kills": shard.kills,
-            "recoveries": shard.recoveries,
+            "acked": group.acked,
+            "kills": group.kills,
+            "recoveries": group.recoveries,
             "queue_depth": cluster.admission.depth(shard_id),
             "latency": hub.hist(
                 f"shard{shard_id}/request_latency_ns"
             ).summary(),
+            "epoch": group.epoch,
+            "primary": group.primary_index,
+        }
+    replication: Dict[str, float] = {}
+    if cfg.replicas > 0:
+        replication = {
+            "records_shipped": float(
+                sum(
+                    max(r.shipped_seq for r in g.replicas)
+                    for g in cluster.groups.values()
+                )
+            ),
+            "records_reconciled": float(
+                sum(g.reconciled_records for g in cluster.groups.values())
+            ),
         }
     return ServeReport(
         scheme=cfg.scheme,
@@ -179,8 +238,8 @@ def run_serve(
         acked_puts=cluster.acked_puts,
         acked_gets=cluster.acked_gets,
         batches=cluster.batches,
-        kills=sum(s.kills for s in cluster.shards.values()),
-        recoveries=sum(s.recoveries for s in cluster.shards.values()),
+        kills=sum(g.kills for g in cluster.groups.values()),
+        recoveries=sum(g.recoveries for g in cluster.groups.values()),
         oracle_acked_puts=cluster.oracle.acked_puts,
         oracle_verifications=cluster.oracle.verifications,
         oracle_failures=list(cluster.oracle_failures),
@@ -192,6 +251,12 @@ def run_serve(
         ),
         latency=hub.hist("request_latency_ns").summary(),
         per_shard=per_shard,
+        replicas=cfg.replicas,
+        promotions=sum(g.promotions for g in cluster.groups.values()),
+        rejoins=sum(g.rejoins for g in cluster.groups.values()),
+        backup_kills=cluster.backup_kills,
+        divergence_checks=cluster.divergence_checks,
+        replication=replication,
     )
 
 

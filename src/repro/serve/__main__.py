@@ -4,6 +4,9 @@ Usage::
 
     python -m repro.serve --shards 4 --rate 100000 --duration-ms 20
                           [--scheme hoop] [--clients 8]
+                          [--replicas 1 [--kill-primary-at-ms 6]
+                           [--kill-backup-at-ms 6]
+                           [--double-kill-at-ms 12]]
                           [--kill-shard 1 [--kill-at-ms 8] [--torn]]
                           [--batch-size 8] [--batch-wait-us 50]
                           [--queue-depth 64] [--read-fraction 0.25]
@@ -14,8 +17,15 @@ The run is entirely simulated time and fully deterministic in its
 arguments.  ``--kill-shard`` injects a power cut on one shard
 mid-traffic and drives failover: crash, scheme recovery, oracle
 verification of every acknowledged write, queue-through-recovery, and
-resumption.  The exit code is nonzero if any acknowledged write was
-lost — the one thing a serving layer may never do.
+resumption.  With ``--replicas R`` every shard becomes a replication
+group (synchronous redo shipping to R backups before the ack);
+``--kill-primary-at-ms`` then destroys the primary mid-batch and the
+freshest backup promotes at the lease expiry, ``--kill-backup-at-ms``
+kills a backup mid-ship (serving never stalls), and
+``--double-kill-at-ms`` additionally destroys the *promoted* primary.
+The exit code is nonzero if any acknowledged write was lost or any two
+live replicas' durable keyspaces diverged — the things a serving layer
+may never do.
 """
 
 from __future__ import annotations
@@ -65,6 +75,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--torn", action="store_true",
         help="make the killing write torn (partial line)",
     )
+    parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="backups per shard (synchronous redo shipping; default 0)",
+    )
+    parser.add_argument(
+        "--lease-us", type=float, default=250.0,
+        help="primary lease; promotion fires at its expiry (default 250)",
+    )
+    parser.add_argument(
+        "--apply-every", type=int, default=4,
+        help="backup applies its shipped tail every N batches (default 4)",
+    )
+    parser.add_argument(
+        "--kill-primary-at-ms", type=float, default=None,
+        help="destroy the primary (of --kill-shard or shard 0) and promote",
+    )
+    parser.add_argument(
+        "--kill-backup-at-ms", type=float, default=None,
+        help="destroy backup replica 1 mid-ship (needs --replicas >= 1)",
+    )
+    parser.add_argument(
+        "--double-kill-at-ms", type=float, default=None,
+        help="also destroy the promoted primary at this instant",
+    )
     parser.add_argument("--recovery-threads", type=int, default=2)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
@@ -99,6 +133,12 @@ def main(argv=None) -> int:
         recovery_threads=args.recovery_threads,
         verify_final=not args.no_final_verify,
         seed=args.seed,
+        replicas=args.replicas,
+        lease_us=args.lease_us,
+        apply_every=args.apply_every,
+        kill_primary_at_ms=args.kill_primary_at_ms,
+        kill_backup_at_ms=args.kill_backup_at_ms,
+        double_kill_at_ms=args.double_kill_at_ms,
     )
     report = run_serve(cfg)
     latency = report.latency
@@ -127,6 +167,14 @@ def main(argv=None) -> int:
         print(
             f"  failover kills={report.kills} "
             f"recoveries={report.recoveries}"
+        )
+    if report.replicas:
+        shipped = report.replication.get("records_shipped", 0.0)
+        print(
+            f"  replication R={report.replicas} "
+            f"shipped={shipped:,.0f} promotions={report.promotions} "
+            f"rejoins={report.rejoins} backup-kills={report.backup_kills} "
+            f"divergence-checks={report.divergence_checks}"
         )
     print(
         f"  oracle: {report.oracle_acked_puts} acked puts, "

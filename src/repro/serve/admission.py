@@ -13,7 +13,10 @@ of hammering:
   service time);
 * :class:`ShardRecoveringRejection` — the shard is mid-recovery and
   its queue is full of traffic already waiting for it; the hint is the
-  recovery ETA.
+  recovery ETA;
+* :class:`FailoverRejection` — the shard's replication group is
+  between a primary kill and the backup's promotion; the hint is the
+  promotion ETA (the deposed primary's lease expiry).
 
 A recovering shard's queue keeps *accepting* requests while it has
 room: bounded queueing-through-failover is what turns a shard kill
@@ -54,6 +57,19 @@ class ShardRecoveringRejection(RetryableRejection):
     kind = "shard_recovering"
 
 
+class FailoverRejection(RetryableRejection):
+    """The shard's replication group is mid-failover and its queue is full.
+
+    Distinct from :class:`ShardRecoveringRejection` because the hint is
+    different in kind: a promotion completes at the deposed primary's
+    lease expiry (microseconds, deterministic), not at a recovery
+    horizon — clients should retry soon, against the same shard, and
+    will land on the newly promoted primary.
+    """
+
+    kind = "failing_over"
+
+
 class AdmissionController:
     """Bounded per-shard FIFOs and the accept/reject decision."""
 
@@ -72,17 +88,22 @@ class AdmissionController:
         *,
         recovering: bool,
         retry_after_ns: float,
+        failing_over: bool = False,
     ) -> None:
         """Queue ``request`` on its shard or raise a typed rejection.
 
-        ``recovering`` selects the rejection type when the queue is
-        full; ``retry_after_ns`` is the hint stamped on the rejection
-        (batch service time for a healthy shard, recovery ETA for a
-        recovering one).
+        ``recovering`` / ``failing_over`` select the rejection type
+        when the queue is full (``failing_over`` wins when both are
+        set — a promotion in flight is the more specific state);
+        ``retry_after_ns`` is the hint stamped on the rejection (batch
+        service time for a healthy shard, recovery ETA for a
+        recovering one, promotion ETA mid-failover).
         """
         queue = self.queues[request.shard]
         if len(queue) >= self.queue_depth:
-            if recovering:
+            if failing_over:
+                cls, reason = FailoverRejection, "failing over"
+            elif recovering:
                 cls, reason = ShardRecoveringRejection, "recovering"
             else:
                 cls, reason = QueueFullRejection, "full"

@@ -1,116 +1,103 @@
-"""The sharded serving cluster: event loop, shards, and failover.
+"""The sharded serving cluster: event loop, replication groups, failover.
 
-One :class:`ServeCluster` owns N :class:`Shard` machines (each a full
-:class:`~repro.txn.system.MemorySystem` running the configured
-persistence scheme on a fault-injectable NVM device), the consistent-
-hash router, the admission queues, the batch scheduler, open-loop
-clients, and the acked-write oracle.  Everything runs in *simulated*
-time on a single deterministic event loop.
+One :class:`ServeCluster` owns N replication groups (each a
+:class:`~repro.serve.replica.ReplicationGroup`: one primary plus R
+backups, every replica a full :class:`~repro.txn.system.MemorySystem`
+running the configured persistence scheme on a fault-injectable NVM
+device), the consistent-hash router, the admission queues, the batch
+scheduler, open-loop clients, and the acked-write + divergence
+oracles.  Everything runs in *simulated* time on a single
+deterministic event loop.
 
 Scheduling is the same min-clock discipline as
 :class:`~repro.workloads.driver.WorkloadDriver`: a heap of
 ``(time_ns, seq, …)`` events is always popped in nondecreasing time
-order, so shared decisions (admission, batching, failover) are made in
-a globally consistent timeline while each shard's own clock advances
-independently through its transactions.  Ties break on a monotone
-sequence number — the loop is a pure function of the config and seed.
+order, so shared decisions (admission, batching, failover, promotion,
+rejoin) are made in a globally consistent timeline while each
+machine's own clock advances independently through its transactions.
+Ties break on a monotone sequence number — the loop is a pure function
+of the config and seed.
 
 Failover: an armed deadline power cut
 (:meth:`~repro.faults.injector.FaultInjector.arm_power_loss_at`) kills
-one shard mid-batch.  The cluster catches the
+one machine mid-batch.  The cluster catches the
 :class:`~repro.common.errors.PowerLossError`, drives the standard
-``crash()``/``recover()`` path, verifies the shard against the
-acked-write oracle (including all-or-nothing for the in-flight batch),
-holds the shard RECOVERING for the recovery model's simulated duration
-while its queue keeps absorbing traffic (overflow sheds with typed
-retryable rejections), requeues the failed batch, and resumes.
+``crash()``/``recover()`` path, and verifies against the acked-write
+oracle (including all-or-nothing for the in-flight batch).  What
+happens next depends on the group:
+
+* **unreplicated** (R = 0): the shard holds RECOVERING for the
+  recovery model's simulated duration while its queue keeps absorbing
+  traffic (overflow sheds with typed retryable rejections), the failed
+  batch is requeued, and the same machine resumes — exactly the PR 7
+  behavior, bit-identical;
+* **replicated** (R >= 1): the group enters FAILING_OVER until the
+  dead primary's lease expires, then the freshest live backup replays
+  its shipped-but-unapplied tail and serves at a bumped epoch while
+  the old primary rejoins via catch-up; after every promotion and
+  rejoin, live replicas' durable keyspaces are fingerprint-compared
+  (the divergence oracle).  A killed *backup* never stalls serving:
+  the ack proceeds with the remaining live set and the dead backup
+  rejoins later.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.common import rng as rng_util
-from repro.common.config import FaultConfig, SystemConfig
 from repro.common.errors import PowerLossError
 from repro.serve.admission import AdmissionController, RetryableRejection
 from repro.serve.batcher import BatchScheduler
 from repro.serve.client import OP_GET, Request, make_clients
-from repro.serve.oracle import AckOracle, value_words
+from repro.serve.oracle import AckOracle
+from repro.serve.replica import (
+    BACKUP,
+    DEAD,
+    GROUP_FAILING_OVER,
+    GROUP_RECOVERING,
+    GROUP_UP,
+    REJOINING,
+    Replica,
+    ReplicationGroup,
+)
 from repro.serve.router import ConsistentHashRouter
 from repro.telemetry.hub import Telemetry
 from repro.txn.system import MemorySystem
 
-# Shard lifecycle states.
-UP = "up"
-RECOVERING = "recovering"
+# Legacy shard lifecycle names (PR 7); group states superseded them but
+# the strings are part of the telemetry/report vocabulary.
+UP = GROUP_UP
+RECOVERING = GROUP_RECOVERING
 
 # Event kinds: a client's next arrival, or a shard wake-up (batch
-# deadline, busy-until, or recovery completion — the pump sorts it out).
+# deadline, busy-until, recovery completion, promotion instant, or a
+# rejoin step — the pump sorts it out).
 _ARRIVAL = 0
 _WAKE = 1
 
 
-class Shard:
-    """One shard: a simulated NVM machine plus its slice of the keyspace."""
-
-    def __init__(
-        self,
-        shard_id: int,
-        *,
-        scheme: str,
-        keys: List[int],
-        value_bytes: int,
-        seed: int,
-        telemetry: Telemetry,
-    ) -> None:
-        faults = FaultConfig(
-            enabled=True,
-            seed=rng_util.derive(seed, "shard", shard_id, "faults"),
-        )
-        config = SystemConfig.small().replace(faults=faults)
-        self.system = MemorySystem(config, scheme=scheme, telemetry=telemetry)
-        self.shard_id = shard_id
-        self.value_bytes = value_bytes
-        # Slot directory: a pure function of (router, keyspace) — see
-        # ConsistentHashRouter.partition — so it survives any crash by
-        # recomputation, never by being volatile runtime state.
-        self._slot = {key: index for index, key in enumerate(keys)}
-        self.base = self.system.allocate(max(1, len(keys)) * value_bytes)
-        self.state = UP
-        self.recover_at_ns = 0.0
-        self.kills = 0
-        self.recoveries = 0
-        self.acked = 0
-
-    def addr_of(self, key: int) -> int:
-        """Home-region address of one key's value slot."""
-        return self.base + self._slot[key] * self.value_bytes
-
-    @property
-    def clock_ns(self) -> float:
-        """The shard's service clock (core 0 does all the serving)."""
-        return self.system.clocks[0]
-
-
 class ServeCluster:
-    """N shards behind a router, driven by one simulated-time event loop."""
+    """N replication groups behind a router, on one simulated-time loop."""
 
-    def __init__(self, cfg, *, telemetry: Optional[Telemetry] = None) -> None:
+    def __init__(self, cfg, *, telemetry=None) -> None:
         self.cfg = cfg
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         shard_ids = list(range(cfg.shards))
         self.router = ConsistentHashRouter(shard_ids, seed=cfg.seed)
         partition = self.router.partition(cfg.keyspace)
-        self.shards: Dict[int, Shard] = {
-            shard_id: Shard(
+        self.groups: Dict[int, ReplicationGroup] = {
+            shard_id: ReplicationGroup(
                 shard_id,
                 scheme=cfg.scheme,
                 keys=partition[shard_id],
                 value_bytes=cfg.value_bytes,
                 seed=cfg.seed,
                 telemetry=self.telemetry,
+                replicas=cfg.replicas,
+                recovery_threads=cfg.recovery_threads,
+                lease_ns=cfg.lease_us * 1e3,
+                apply_every=cfg.apply_every,
             )
             for shard_id in shard_ids
         }
@@ -130,10 +117,14 @@ class ServeCluster:
         self.retried = 0
         self.shed_on_failover = 0
         self.batches = 0
+        self.primary_kills = 0
+        self.backup_kills = 0
+        self.divergence_checks = 0
         self.oracle_failures: List[str] = []
         self.last_completion_ns = 0.0
         self._events: List[tuple] = []
         self._seq = 0
+        self._double_kill_armed = False
 
     # -- event plumbing -------------------------------------------------------
 
@@ -162,16 +153,7 @@ class ServeCluster:
             if request is not None:
                 pending[client_id] = request
                 self._push(request.arrival_ns, _ARRIVAL, client_id)
-        if cfg.kill_shard is not None:
-            kill_at_ms = (
-                cfg.kill_at_ms
-                if cfg.kill_at_ms is not None
-                else cfg.duration_ms * 0.4
-            )
-            shard = self.shards[cfg.kill_shard]
-            shard.system.device.injector.arm_power_loss_at(
-                kill_at_ms * 1e6, torn=cfg.torn_kill
-            )
+        self._arm_kills()
         while self._events:
             time_ns, _, kind, arg = heapq.heappop(self._events)
             if time_ns > self.now_ns:
@@ -189,20 +171,59 @@ class ServeCluster:
         if cfg.verify_final:
             self._final_verify()
 
+    def _arm_kills(self) -> None:
+        """Arm the configured deadline power cuts before traffic starts.
+
+        ``--kill-shard`` (legacy, R-agnostic) and
+        ``--kill-primary-at-ms`` both target a group's primary;
+        ``--kill-backup-at-ms`` targets replica 1 of the same group.
+        The double-kill deadline is armed later, on the *promoted*
+        primary, at promotion time.
+        """
+        cfg = self.cfg
+        target = cfg.kill_shard if cfg.kill_shard is not None else 0
+        kill_at_ms = None
+        if cfg.kill_shard is not None:
+            kill_at_ms = (
+                cfg.kill_at_ms
+                if cfg.kill_at_ms is not None
+                else cfg.duration_ms * 0.4
+            )
+        if cfg.kill_primary_at_ms is not None:
+            kill_at_ms = cfg.kill_primary_at_ms
+        if kill_at_ms is not None:
+            primary = self.groups[target].primary
+            primary.system.device.injector.arm_power_loss_at(
+                kill_at_ms * 1e6, torn=cfg.torn_kill
+            )
+        if cfg.kill_backup_at_ms is not None:
+            backup = self.groups[target].replicas[1]
+            backup.system.device.injector.arm_power_loss_at(
+                cfg.kill_backup_at_ms * 1e6, torn=cfg.torn_kill
+            )
+
     # -- admission ------------------------------------------------------------
 
     def _admit(self, request: Request) -> None:
         request.shard = self.router.shard_for(request.key)
-        shard = self.shards[request.shard]
+        group = self.groups[request.shard]
         self.offered += 1
-        recovering = shard.state == RECOVERING
-        if recovering:
-            retry_after = max(shard.recover_at_ns - self.now_ns, 0.0)
+        failing_over = group.state == GROUP_FAILING_OVER
+        recovering = group.state == GROUP_RECOVERING
+        if failing_over:
+            retry_after = max(group.promote_at_ns - self.now_ns, 0.0)
+        elif recovering:
+            retry_after = max(
+                group.primary.recover_at_ns - self.now_ns, 0.0
+            )
         else:
             retry_after = self.batcher.batch_wait_ns
         try:
             self.admission.admit(
-                request, recovering=recovering, retry_after_ns=retry_after
+                request,
+                recovering=recovering,
+                retry_after_ns=retry_after,
+                failing_over=failing_over,
             )
         except RetryableRejection as rejection:
             self.telemetry.emit(
@@ -224,31 +245,40 @@ class ServeCluster:
     # -- the shard pump -------------------------------------------------------
 
     def _pump(self, shard_id: int) -> None:
-        """Advance one shard: recovery completion, then batch formation."""
-        shard = self.shards[shard_id]
-        if shard.state == RECOVERING:
-            if self.now_ns + 1e-9 < shard.recover_at_ns:
+        """Advance one group: rejoins, promotion, recovery, then batching."""
+        group = self.groups[shard_id]
+        self._advance_rejoins(group)
+        if group.state == GROUP_FAILING_OVER:
+            if self.now_ns + 1e-9 < group.promote_at_ns:
+                return  # the promotion wake is already queued
+            self._complete_promotion(group)
+            if group.state != GROUP_UP:
+                return
+        if group.state == GROUP_RECOVERING:
+            if self.now_ns + 1e-9 < group.primary.recover_at_ns:
                 return  # the recovery-completion wake is already queued
-            self._complete_recovery(shard)
-        if shard.clock_ns > self.now_ns + 1e-9:
+            self._complete_recovery(group)
+        primary = group.primary
+        if primary.clock_ns > self.now_ns + 1e-9:
             # Busy until its clock; re-pump then.
-            self._push(shard.clock_ns, _WAKE, shard_id)
+            self._push(primary.clock_ns, _WAKE, shard_id)
             return
         queue = self.admission.queues[shard_id]
         if not queue:
             return
         if self.batcher.ready(queue, self.now_ns):
-            self._execute_batch(shard)
+            self._execute_batch(group)
         else:
             self._push(self.batcher.deadline_ns(queue), _WAKE, shard_id)
 
     # -- batch execution ------------------------------------------------------
 
-    def _execute_batch(self, shard: Shard) -> None:
-        """One batch: GET loads, then all PUTs as one transaction."""
-        system = shard.system
-        batch = self.batcher.take(self.admission.queues[shard.shard_id])
-        start = max(self.now_ns, shard.clock_ns)
+    def _execute_batch(self, group: ReplicationGroup) -> None:
+        """One batch: GET loads, then all PUTs committed and shipped."""
+        primary = group.primary
+        system = primary.system
+        batch = self.batcher.take(self.admission.queues[group.shard_id])
+        start = max(self.now_ns, primary.clock_ns)
         system.clocks[0] = start
         self.telemetry.record("batch_size", len(batch))
         puts: List[Request] = []
@@ -258,119 +288,355 @@ class ServeCluster:
                     puts.append(request)
                     continue
                 system.load(
-                    shard.addr_of(request.key),
-                    shard.value_bytes,
+                    primary.addr_of(request.key),
+                    primary.value_bytes,
                     core=0,
                 )
                 request.completion_ns = system.clocks[0]
-                self._ack(shard, request)
+                self._ack(group, request)
             stores = [
-                (shard.addr_of(request.key), request.value)
+                (primary.addr_of(request.key), request.value)
                 for request in puts
             ]
-            tx = system.run_batch(stores, core=0) if stores else None
+            outcome = group.commit_and_ship(stores, core=0)
         except PowerLossError as exc:
             issued = getattr(exc, "issued_stores", [])
-            staged: Dict[int, bytes] = {}
-            for addr, value in issued:
-                for word_addr, word in value_words(addr, value):
-                    staged[word_addr] = word
+            if primary.log_base is not None:
+                # The batch tx also carries the replication-log entry +
+                # header.  All-or-nothing is judged over the *data*
+                # words only: log words are rewritten every batch, so
+                # their pre-crash baseline is the previous log state —
+                # which the word-granular verifier (baselining against
+                # acked-or-zero) cannot know.  Log integrity is proven
+                # separately, by tail replay + divergence fingerprints.
+                issued = [
+                    s
+                    for s in issued
+                    if not primary.log_base <= s[0] < primary.log_limit
+                ]
+            staged = dict(MemorySystem.redo_words(issued))
             unacked = [r for r in batch if r.completion_ns <= 0.0]
-            self._failover(shard, staged, unacked)
+            self._primary_failover(group, staged, unacked)
             return
-        if tx is not None:
-            completion = tx.end_ns
+        if outcome.tx is not None:
+            completion = outcome.ack_ns
             for request in puts:
                 request.completion_ns = completion
                 self.oracle.record_ack(
-                    shard.shard_id,
-                    shard.addr_of(request.key),
+                    group.shard_id,
+                    primary.addr_of(request.key),
                     request.value,
                 )
-                self._ack(shard, request)
+                self._ack(group, request)
+        for backup in outcome.dead_backups:
+            self._backup_failover(group, backup)
+        if group.replication_enabled and outcome.tx is not None:
+            self.telemetry.sample(
+                f"shard{group.shard_id}/replication_lag",
+                self.now_ns,
+                group.replication_lag(),
+            )
         self.batches += 1
-        self._push(shard.clock_ns, _WAKE, shard.shard_id)
+        self._push(primary.clock_ns, _WAKE, group.shard_id)
 
-    def _ack(self, shard: Shard, request: Request) -> None:
+    def _ack(self, group: ReplicationGroup, request: Request) -> None:
         """Acknowledgement instant: count + latency histograms."""
         latency = request.latency_ns
         if request.op == OP_GET:
             self.acked_gets += 1
         else:
             self.acked_puts += 1
-        shard.acked += 1
+        group.primary.acked += 1
         if request.completion_ns > self.last_completion_ns:
             self.last_completion_ns = request.completion_ns
         self.telemetry.record("request_latency_ns", latency)
         self.telemetry.record(
-            f"shard{shard.shard_id}/request_latency_ns", latency
+            f"shard{group.shard_id}/request_latency_ns", latency
         )
 
     # -- failover -------------------------------------------------------------
 
-    def _failover(
+    def _primary_failover(
         self,
-        shard: Shard,
+        group: ReplicationGroup,
         staged: Dict[int, bytes],
         unacked: List[Request],
     ) -> None:
-        """Power died mid-batch: crash, recover, verify, requeue, hold."""
-        system = shard.system
-        shard.kills += 1
+        """The primary died mid-batch: verify, requeue, promote or hold.
+
+        The dead machine is crashed+recovered immediately and verified
+        against every acked word (plus all-or-nothing for the in-flight
+        batch — its words, including the folded-in redo log entry, are
+        ``staged``).  With a live backup the group enters FAILING_OVER
+        until the lease expires; without one it holds RECOVERING until
+        the same machine's recovery horizon, exactly the PR 7 path.
+        """
+        primary = group.primary
+        self.primary_kills += 1
         self.telemetry.emit(
             self.now_ns,
             "shard_kill",
             "serve",
-            {"shard": shard.shard_id, "staged_words": len(staged)},
+            {"shard": group.shard_id, "staged_words": len(staged)},
         )
-        system.crash()
-        report = system.recover(threads=self.cfg.recovery_threads)
-        failure = self.oracle.verify_shard(system, shard.shard_id, staged)
+        recover_at = group.begin_replica_recovery(
+            primary, self.now_ns, floor_ns=self.cfg.recovery_floor_ns
+        )
+        failure = self.oracle.verify_shard(
+            primary.system, group.shard_id, staged
+        )
         if failure:
             self.oracle_failures.append(
-                f"shard {shard.shard_id} after kill: {failure}"
+                f"shard {group.shard_id} after kill: {failure}"
             )
-        elapsed = getattr(report, "elapsed_ns", 0.0) or 0.0
-        recovery_ns = max(elapsed, self.cfg.recovery_floor_ns)
-        shard.state = RECOVERING
-        shard.recover_at_ns = self.now_ns + recovery_ns
         fitted = self.admission.requeue_front(unacked)
         self.retried += fitted
         self.shed_on_failover += len(unacked) - fitted
+        if group.live_backups():
+            group.state = GROUP_FAILING_OVER
+            group.promote_at_ns = max(self.now_ns, group.lease_expiry_ns)
+            self.telemetry.emit(
+                self.now_ns,
+                "failover_begin",
+                "serve",
+                {
+                    "shard": group.shard_id,
+                    "promote_at_ns": group.promote_at_ns,
+                    "requeued": fitted,
+                },
+            )
+            self._push(group.promote_at_ns, _WAKE, group.shard_id)
+        else:
+            group.state = GROUP_RECOVERING
+            self.telemetry.emit(
+                self.now_ns,
+                "shard_recovering",
+                "serve",
+                {
+                    "shard": group.shard_id,
+                    "recovery_ns": recover_at - self.now_ns,
+                    "requeued": fitted,
+                },
+            )
+            self._push(recover_at, _WAKE, group.shard_id)
+
+    def _backup_failover(
+        self, group: ReplicationGroup, replica: Replica
+    ) -> None:
+        """A backup died (mid-ship or mid-apply): recover it off-path.
+
+        Serving never stalls — the ack already proceeded with the
+        remaining live set.  The dead backup is crashed+recovered and
+        held until its recovery horizon, after which it rejoins via
+        catch-up; its durable state is verified at rejoin (divergence
+        fingerprint) and again in the final sweep.
+        """
+        self.backup_kills += 1
         self.telemetry.emit(
             self.now_ns,
-            "shard_recovering",
+            "backup_kill",
+            "serve",
+            {"shard": group.shard_id, "replica": replica.index},
+        )
+        recover_at = group.begin_replica_recovery(
+            replica, self.now_ns, floor_ns=self.cfg.recovery_floor_ns
+        )
+        self._push(recover_at, _WAKE, group.shard_id)
+
+    def _complete_promotion(self, group: ReplicationGroup) -> None:
+        """Lease expired: promote the freshest live backup (or hold).
+
+        If every backup died during the failover window the group falls
+        back to waiting for its dead primary (RECOVERING).  A power cut
+        *during* promotion (an armed deadline on the successor) demotes
+        that successor to the dead set and retries immediately with the
+        next candidate.  After a successful promotion the divergence
+        oracle compares every live replica's durable keyspace, and the
+        optional double-kill deadline is armed on the new primary.
+        """
+        old_primary = group.primary
+        successor = group.choose_successor()
+        if successor is None:
+            group.state = GROUP_RECOVERING
+            self._push(old_primary.recover_at_ns, _WAKE, group.shard_id)
+            return
+        replayed = len(successor.tail)
+        try:
+            group.promote(self.now_ns)
+        except PowerLossError:
+            self._backup_failover(group, successor)
+            group.state = GROUP_FAILING_OVER
+            group.promote_at_ns = self.now_ns
+            self._push(self.now_ns, _WAKE, group.shard_id)
+            return
+        self.telemetry.count("serve.promotions")
+        self.telemetry.emit(
+            self.now_ns,
+            "promotion",
             "serve",
             {
-                "shard": shard.shard_id,
-                "recovery_ns": recovery_ns,
-                "requeued": fitted,
+                "shard": group.shard_id,
+                "replica": successor.index,
+                "epoch": group.epoch,
+                "replayed": replayed,
             },
         )
-        self._push(shard.recover_at_ns, _WAKE, shard.shard_id)
+        # A reconcile ship may have tripped an armed cut on another
+        # backup; sweep and recover any such casualty.
+        for replica in group.backups():
+            if (
+                replica.state == BACKUP
+                and replica.system.device.injector.power_lost
+            ):
+                self._backup_failover(group, replica)
+        self._check_divergence(group, "after promotion")
+        failure = self.oracle.verify_replica(
+            successor.durable_projection(),
+            group.shard_id,
+            successor.index,
+        )
+        if failure:
+            self.oracle_failures.append(
+                f"shard {group.shard_id} promoted {failure}"
+            )
+        if (
+            self.cfg.double_kill_at_ms is not None
+            and not self._double_kill_armed
+        ):
+            self._double_kill_armed = True
+            successor.system.device.injector.arm_power_loss_at(
+                self.cfg.double_kill_at_ms * 1e6, torn=self.cfg.torn_kill
+            )
+        self._push(
+            max(self.now_ns, old_primary.recover_at_ns),
+            _WAKE,
+            group.shard_id,
+        )
+        self._push(successor.clock_ns, _WAKE, group.shard_id)
 
-    def _complete_recovery(self, shard: Shard) -> None:
-        """Recovery horizon reached: shard serves again (cold caches)."""
-        shard.state = UP
-        cores = len(shard.system.clocks)
-        shard.system.clocks = [shard.recover_at_ns] * cores
-        shard.recoveries += 1
+    def _complete_recovery(self, group: ReplicationGroup) -> None:
+        """Recovery horizon reached: the machine serves again (cold caches)."""
+        primary = group.primary
+        cores = len(primary.system.clocks)
+        primary.system.clocks = [primary.recover_at_ns] * cores
+        group.resume_solo(primary, primary.recover_at_ns)
+        primary.recoveries += 1
         self.telemetry.emit(
-            shard.recover_at_ns,
+            primary.recover_at_ns,
             "shard_recovered",
             "serve",
-            {"shard": shard.shard_id},
+            {"shard": group.shard_id},
         )
 
-    # -- end-of-run verification ----------------------------------------------
+    # -- rejoin ---------------------------------------------------------------
+
+    def _advance_rejoins(self, group: ReplicationGroup) -> None:
+        """Move due non-primary replicas through DEAD → REJOINING → BACKUP.
+
+        Runs at the head of every pump, so any wake or arrival after a
+        replica's recovery horizon makes progress.  A rejoin needs a
+        live primary as its catch-up source: while the group is itself
+        failing over or recovering, the step is deferred to the group's
+        own resume instant.
+        """
+        for replica in group.replicas:
+            if replica.index == group.primary_index:
+                continue
+            if replica.state == DEAD:
+                if self.now_ns + 1e-9 < replica.recover_at_ns:
+                    continue  # its recovery wake is already queued
+                if group.state != GROUP_UP:
+                    resume = (
+                        group.promote_at_ns
+                        if group.state == GROUP_FAILING_OVER
+                        else group.primary.recover_at_ns
+                    )
+                    self._push(
+                        max(resume, replica.recover_at_ns),
+                        _WAKE,
+                        group.shard_id,
+                    )
+                    continue
+                replica.state = REJOINING
+                self.telemetry.emit(
+                    self.now_ns,
+                    "rejoin_begin",
+                    "serve",
+                    {"shard": group.shard_id, "replica": replica.index},
+                )
+                try:
+                    group.catch_up(replica, self.now_ns)
+                except PowerLossError:
+                    self._backup_failover(group, replica)
+                    continue
+                self._try_go_live(group, replica)
+            elif replica.state == REJOINING and group.state == GROUP_UP:
+                self._try_go_live(group, replica)
+
+    def _try_go_live(
+        self, group: ReplicationGroup, replica: Replica
+    ) -> None:
+        """One rejoin step: delta re-ship, then live — or a later retry."""
+        try:
+            retry_at = group.try_go_live(replica, self.now_ns)
+        except PowerLossError:
+            self._backup_failover(group, replica)
+            return
+        if retry_at is not None:
+            self._push(retry_at, _WAKE, group.shard_id)
+            return
+        self.telemetry.count("serve.rejoins")
+        self.telemetry.emit(
+            self.now_ns,
+            "rejoin_complete",
+            "serve",
+            {"shard": group.shard_id, "replica": replica.index},
+        )
+        self._check_divergence(group, f"after replica {replica.index} rejoin")
+
+    # -- verification ---------------------------------------------------------
+
+    def _check_divergence(self, group: ReplicationGroup, label: str) -> None:
+        """Fingerprint-compare every live replica's durable keyspace."""
+        self.divergence_checks += 1
+        failure = group.divergence()
+        if failure:
+            self.oracle_failures.append(f"{failure} ({label})")
 
     def _final_verify(self) -> None:
-        """Crash+recover every shard once more; all promises must hold."""
-        for shard_id, shard in sorted(self.shards.items()):
-            shard.system.crash()
-            shard.system.recover(threads=self.cfg.recovery_threads)
-            failure = self.oracle.verify_shard(shard.system, shard_id)
-            if failure:
-                self.oracle_failures.append(
-                    f"shard {shard_id} final sweep: {failure}"
+        """End-of-run sweep: every replica's durable state must hold.
+
+        Unreplicated groups take the PR 7 path verbatim (crash+recover
+        the one machine, verify once).  Replicated groups are verified
+        non-destructively: one divergence check across live replicas,
+        then every replica's durable projection against the full ack
+        history — a replica still dead or rejoining at drain time is
+        itself a failure (the event loop drains every recovery wake, so
+        a straggler means the rejoin protocol lost it).
+        """
+        for shard_id, group in sorted(self.groups.items()):
+            if not group.replication_enabled:
+                shard = group.primary
+                shard.system.crash()
+                shard.system.recover(threads=self.cfg.recovery_threads)
+                failure = self.oracle.verify_shard(shard.system, shard_id)
+                if failure:
+                    self.oracle_failures.append(
+                        f"shard {shard_id} final sweep: {failure}"
+                    )
+                continue
+            self._check_divergence(group, "final sweep")
+            for replica in group.replicas:
+                if not replica.live:
+                    self.oracle_failures.append(
+                        f"shard {shard_id} replica {replica.index} "
+                        f"never rejoined (state {replica.state})"
+                    )
+                    continue
+                failure = self.oracle.verify_replica(
+                    replica.durable_projection(), shard_id, replica.index
                 )
+                if failure:
+                    self.oracle_failures.append(
+                        f"shard {shard_id} final sweep {failure}"
+                    )

@@ -7,18 +7,27 @@ asserting it:
 
 * every committed PUT is recorded word-by-word (address -> 8-byte
   value, last-ack-wins per word) against its shard *at the instant the
-  batch transaction's commit returned* — the acknowledgement edge;
-* after any shard crash+recovery (the injected ``--kill-shard``
-  failover, and the end-of-run sweep that crashes every shard once
-  more), the shard's durable NVM bytes are checked against its acked
-  words with :func:`repro.crashtest.verify_atomic_durability` — the
-  same verifier the crash-point sweep trusts — including the
-  all-or-nothing check for the one batch that was mid-transaction when
-  power died.
+  batch transaction's commit returned* — the acknowledgement edge (for
+  a replicated shard, after every live backup's ship committed too);
+* after any shard crash+recovery (the injected ``--kill-shard`` /
+  ``--kill-primary-at-ms`` failovers, and the end-of-run sweep that
+  crashes every shard once more), the shard's durable NVM bytes are
+  checked against its acked words with
+  :func:`repro.crashtest.verify_atomic_durability` — the same verifier
+  the crash-point sweep trusts — including the all-or-nothing check
+  for the one batch that was mid-transaction when power died;
+* with replication enabled, *every replica* is held to the same
+  promise: :meth:`AckOracle.verify_replica` checks a replica's durable
+  projection (crash + recover + shipped-tail replay, computed on a
+  clone — see :meth:`repro.serve.replica.Replica.durable_projection`)
+  against the full ack history, so an acked write must survive even
+  the destruction of the machine that acknowledged it.
 
 Word granularity matches the verifier's: PUT values are multiples of 8
 bytes at 8-byte-aligned slots (enforced by the serve config), so one
-value decomposes exactly into oracle words.
+value decomposes exactly into oracle words — the decomposition is the
+same redo-record export the replication layer ships
+(:meth:`repro.txn.system.MemorySystem.redo_words`).
 """
 
 from __future__ import annotations
@@ -26,18 +35,21 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.crashtest import verify_atomic_durability
+from repro.txn.system import MemorySystem
 
 _WORD = 8
 
 
 def value_words(addr: int, value: bytes) -> List:
-    """Split one slot write into ``(word_addr, 8-byte value)`` pairs."""
-    if addr % _WORD or len(value) % _WORD:
-        raise ValueError("oracle requires 8-byte-aligned slot writes")
-    return [
-        (addr + offset, value[offset : offset + _WORD])
-        for offset in range(0, len(value), _WORD)
-    ]
+    """Split one slot write into ``(word_addr, 8-byte value)`` pairs.
+
+    Thin wrapper over the canonical redo export
+    (:meth:`repro.txn.system.MemorySystem.redo_words`) for a single
+    store — the oracle and the replication layer must decompose writes
+    identically or a shipped record could verify differently than it
+    was promised.
+    """
+    return MemorySystem.redo_words([(addr, value)])
 
 
 class AckOracle:
@@ -79,3 +91,25 @@ class AckOracle:
         return verify_atomic_durability(
             system, self._acked[shard], staged or {}
         )
+
+    def verify_replica(
+        self,
+        projection,
+        shard: int,
+        replica_index: int,
+        staged: Optional[Dict[int, bytes]] = None,
+    ) -> Optional[str]:
+        """Check one replica's durable projection against the shard's acks.
+
+        ``projection`` is the crash+recover+tail-replay clone from
+        :meth:`repro.serve.replica.Replica.durable_projection` — what
+        this replica would serve if promoted right now.  Every word the
+        *group* ever acknowledged must be present (synchronous shipping
+        is exactly the mechanism that makes this hold; this check is
+        what would catch it lying).  Counts as one verification;
+        failure messages are prefixed with the replica index.
+        """
+        failure = self.verify_shard(projection, shard, staged)
+        if failure:
+            return f"replica {replica_index}: {failure}"
+        return None

@@ -126,7 +126,11 @@ class MemorySystem:
         whose store calls had completed when power died (the dying
         store itself excluded — its effects, if any, are torn), which
         is exactly the in-flight set a durability oracle must treat as
-        all-or-nothing.
+        all-or-nothing.  On success the returned transaction carries
+        ``write_set`` (the full ordered store list) so callers — the
+        replication layer above all — can re-derive the batch's
+        word-granular redo records via :meth:`redo_words` without
+        shadow bookkeeping.
         """
         stores = list(stores)
         tx = self.transaction(core)
@@ -137,7 +141,30 @@ class MemorySystem:
         except PowerLossError as exc:
             exc.issued_stores = stores[: tx.stores]
             raise
+        tx.write_set = stores
         return tx
+
+    @staticmethod
+    def redo_words(stores):
+        """Word-granular redo export of one batch write set.
+
+        Decomposes ``(addr, data)`` stores into ``(word_addr, 8-byte
+        value)`` pairs — the redo records HOOP's controller
+        materializes out-of-place, and the exact unit the replication
+        layer ships and the acked-write oracle verifies.  Requires
+        8-byte-aligned stores of word-multiple length (raises
+        ``ValueError`` otherwise).  Pure function; touches no clocks.
+        """
+        words = []
+        for addr, data in stores:
+            if addr % 8 or len(data) % 8:
+                raise ValueError(
+                    "redo export requires 8-byte-aligned word-multiple "
+                    f"stores (addr={addr:#x}, len={len(data)})"
+                )
+            for offset in range(0, len(data), 8):
+                words.append((addr + offset, data[offset : offset + 8]))
+        return words
 
     def allocate(self, size: int) -> int:
         """Persistent-heap allocation (home-region address)."""

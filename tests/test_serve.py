@@ -9,6 +9,7 @@ from repro.common.errors import ConfigError
 from repro.serve import SERVABLE_SCHEMES, ServeConfig, ServeReport, run_serve
 from repro.serve.admission import (
     AdmissionController,
+    FailoverRejection,
     QueueFullRejection,
     RetryableRejection,
     ShardRecoveringRejection,
@@ -94,6 +95,16 @@ class TestAdmission:
                       retry_after_ns=9.0)
         assert ctl.rejections == {"queue_full": 1, "shard_recovering": 1}
         assert ctl.depth(0) == 2
+
+    def test_failing_over_rejection_is_typed_and_wins(self):
+        ctl = AdmissionController([0], queue_depth=1)
+        ctl.admit(self._request(0, 0), recovering=False, retry_after_ns=1.0)
+        with pytest.raises(FailoverRejection) as info:
+            ctl.admit(self._request(0, 1), recovering=True,
+                      retry_after_ns=4.0, failing_over=True)
+        assert isinstance(info.value, RetryableRejection)
+        assert info.value.retry_after_ns == 4.0
+        assert ctl.rejections == {"failing_over": 1}
 
     def test_recovering_shard_still_queues_when_room(self):
         ctl = AdmissionController([0], queue_depth=4)
@@ -289,6 +300,19 @@ class TestEndToEnd:
         assert report.admitted < report.offered
         assert report.clean  # backpressure never breaks the ack promise
 
+    def test_rejections_during_failover_are_typed(self):
+        # A long lease holds the group FAILING_OVER; the tiny queue
+        # overflows while the promotion is pending.
+        report = run_serve(
+            tiny_cfg(
+                replicas=1, kill_primary_at_ms=1.0, lease_us=3000.0,
+                queue_depth=2, rate_per_s=120_000.0,
+            )
+        )
+        assert report.promotions == 1
+        assert report.rejected.get("failing_over", 0) > 0
+        assert report.clean
+
     def test_rejections_during_recovery_are_typed(self):
         report = run_serve(
             tiny_cfg(
@@ -343,6 +367,23 @@ class TestRunBatchSurface:
         issued = info.value.issued_stores
         assert 0 < len(issued) < len(stores)
         assert issued == stores[: len(issued)]
+
+    def test_run_batch_exports_its_write_set_and_redo_words(self):
+        from repro import MemorySystem, SystemConfig
+
+        system = MemorySystem(SystemConfig.small(), scheme="hoop")
+        base = system.allocate(64)
+        stores = [(base, b"\xab" * 16), (base + 16, b"\xcd" * 8)]
+        tx = system.run_batch(stores)
+        assert tx.write_set == stores
+        words = MemorySystem.redo_words(tx.write_set)
+        assert words == [
+            (base, b"\xab" * 8),
+            (base + 8, b"\xab" * 8),
+            (base + 16, b"\xcd" * 8),
+        ]
+        with pytest.raises(ValueError):
+            MemorySystem.redo_words([(base + 1, b"x" * 8)])
 
 
 class TestSeedDiscipline:
