@@ -109,6 +109,13 @@ class BitStruct:
         }
 
 
+# -- snapshot/wire declarations -----------------------------------------------
+# Layouts are immutable after construction: clones and wire transfers
+# may share them freely.
+Field.__snapshot_state__ = "__shared__"
+BitStruct.__snapshot_state__ = "__shared__"
+
+
 def pack_uint_list(values: Sequence[int], bits_each: int, total_bytes: int) -> bytes:
     """Pack a homogeneous list of unsigned ints (e.g. eight 40-bit addrs)."""
     if len(values) * bits_each > total_bytes * 8:

@@ -17,15 +17,21 @@ storage service needs:
 * :mod:`~repro.serve.replica` — replication groups: synchronous
   word-granular redo shipping to R backups, deterministic lease/epoch
   promotion, rejoin catch-up, and the divergence fingerprint oracle;
-* :mod:`~repro.serve.cluster` — the deterministic simulated-time event
-  loop tying it together, including mid-traffic primary/backup kills
-  and crash/recover/promote failover.
+* :mod:`~repro.serve.shard` — the shard executor: one shard's
+  deterministic event loop (admission, batching, mid-traffic
+  primary/backup kills, crash/recover/promote failover);
+* :mod:`~repro.serve.cluster` — the coordinator: N shard executors
+  advanced in lock-step simulated-time epochs;
+* :mod:`~repro.serve.engine` — the execution engine: the epoch driver
+  plus an optional multi-process worker pool (``--workers W``) that is
+  bit-identical to sequential execution.
 
-Run it: ``python -m repro.serve --shards 4 --kill-shard 1``, or with
+Run it: ``python -m repro.serve --shards 4 --kill-shard 1``, with
 replication: ``python -m repro.serve --replicas 1
---kill-primary-at-ms 6``.  Everything is simulated time — a run is a
+--kill-primary-at-ms 6``, or in parallel: ``python -m repro.serve
+--shards 8 --workers 4``.  Everything is simulated time — a run is a
 pure function of its :class:`ServeConfig`, bit-identical across
-replays and parallelism.
+replays, harness parallelism, and worker counts.
 """
 
 from __future__ import annotations
@@ -35,7 +41,9 @@ from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.serve.cluster import ServeCluster
+from repro.serve.engine import EngineConfig
 from repro.telemetry.hub import Telemetry
+from repro.telemetry.metrics import Log2Histogram
 
 # Schemes the serving layer accepts: every persistence scheme, but not
 # ``native`` — a serving ack is a durability promise, and native makes
@@ -183,16 +191,23 @@ class ServeReport:
 
 
 def run_serve(
-    cfg: ServeConfig, *, telemetry: Optional[Telemetry] = None
+    cfg: ServeConfig,
+    *,
+    engine: Optional[EngineConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ServeReport:
     """Build a cluster from ``cfg``, run it to completion, report.
 
-    Pass a :class:`~repro.telemetry.hub.Telemetry` hub to keep it (for
+    ``engine`` selects *how* the run executes
+    (:class:`~repro.serve.engine.EngineConfig`; default in-process,
+    ``workers > 0`` fans the shards out over a lock-step worker pool)
+    without changing a byte of the report.  Pass a
+    :class:`~repro.telemetry.hub.Telemetry` hub to keep it (for
     Perfetto export of the serve track); otherwise the cluster makes
     its own, and the report carries the latency digests either way.
     """
     cluster = ServeCluster(cfg, telemetry=telemetry)
-    cluster.run()
+    cluster.run(engine)
     hub = cluster.telemetry
     makespan = cluster.last_completion_ns
     acked = cluster.acked_puts + cluster.acked_gets
@@ -201,16 +216,20 @@ def run_serve(
         for group in cluster.groups.values()
         for replica in group.replicas
     )
+    # The report's latency digest merges the per-shard single-writer
+    # histograms in shard order — the same construction under any
+    # worker count, hence bit-identical sequential vs parallel.
+    latency = Log2Histogram()
     per_shard = {}
     for shard_id, group in sorted(cluster.groups.items()):
+        shard_hist = hub.hist(f"shard{shard_id}/request_latency_ns")
+        latency.merge(shard_hist)
         per_shard[str(shard_id)] = {
             "acked": group.acked,
             "kills": group.kills,
             "recoveries": group.recoveries,
-            "queue_depth": cluster.admission.depth(shard_id),
-            "latency": hub.hist(
-                f"shard{shard_id}/request_latency_ns"
-            ).summary(),
+            "queue_depth": cluster.queue_depth(shard_id),
+            "latency": shard_hist.summary(),
             "epoch": group.epoch,
             "primary": group.primary_index,
         }
@@ -232,7 +251,7 @@ def run_serve(
         shards=cfg.shards,
         offered=cluster.offered,
         admitted=cluster.admitted,
-        rejected=dict(sorted(cluster.admission.rejections.items())),
+        rejected=dict(sorted(cluster.rejections.items())),
         retried=cluster.retried,
         shed_on_failover=cluster.shed_on_failover,
         acked_puts=cluster.acked_puts,
@@ -240,8 +259,8 @@ def run_serve(
         batches=cluster.batches,
         kills=sum(g.kills for g in cluster.groups.values()),
         recoveries=sum(g.recoveries for g in cluster.groups.values()),
-        oracle_acked_puts=cluster.oracle.acked_puts,
-        oracle_verifications=cluster.oracle.verifications,
+        oracle_acked_puts=cluster.oracle_acked_puts,
+        oracle_verifications=cluster.oracle_verifications,
         oracle_failures=list(cluster.oracle_failures),
         committed_transactions=committed,
         makespan_ns=makespan,
@@ -249,7 +268,7 @@ def run_serve(
         transactions_per_s=(
             (committed * 1e9 / makespan) if makespan > 0 else 0.0
         ),
-        latency=hub.hist("request_latency_ns").summary(),
+        latency=latency.summary(),
         per_shard=per_shard,
         replicas=cfg.replicas,
         promotions=sum(g.promotions for g in cluster.groups.values()),
@@ -260,8 +279,14 @@ def run_serve(
     )
 
 
+# -- snapshot/wire declarations -----------------------------------------------
+# Frozen config: every executor's copy is the same immutable object.
+ServeConfig.__snapshot_state__ = "__shared__"
+
+
 __all__ = [
     "SERVABLE_SCHEMES",
+    "EngineConfig",
     "ServeConfig",
     "ServeReport",
     "run_serve",

@@ -137,3 +137,8 @@ class AdmissionController:
     def depth(self, shard: int) -> int:
         """Current queue depth of one shard."""
         return len(self.queues[shard])
+
+
+# -- snapshot/wire declarations -----------------------------------------------
+# Queues of in-flight requests travel by value with their executor.
+AdmissionController.__snapshot_state__ = "__all__"

@@ -54,3 +54,8 @@ class BatchScheduler:
         while queue and len(batch) < self.batch_size:
             batch.append(queue.popleft())
         return batch
+
+
+# -- snapshot/wire declarations -----------------------------------------------
+# A stateless policy over two scalar knobs.
+BatchScheduler.__snapshot_state__ = "__atoms__"

@@ -1,84 +1,56 @@
-"""The sharded serving cluster: event loop, replication groups, failover.
+"""The sharded serving cluster: coordinator over shard executors.
 
 One :class:`ServeCluster` owns N replication groups (each a
 :class:`~repro.serve.replica.ReplicationGroup`: one primary plus R
 backups, every replica a full :class:`~repro.txn.system.MemorySystem`
 running the configured persistence scheme on a fault-injectable NVM
-device), the consistent-hash router, the admission queues, the batch
-scheduler, open-loop clients, and the acked-write + divergence
-oracles.  Everything runs in *simulated* time on a single
-deterministic event loop.
+device), the consistent-hash router, open-loop clients, and — per
+shard — a :class:`~repro.serve.shard.ShardExecutor` bundling the
+shard's admission queue, batch policy, acked-write oracle slice, and
+failover state machines.  Everything runs in *simulated* time and a
+run is a pure function of the config and seed.
 
-Scheduling is the same min-clock discipline as
-:class:`~repro.workloads.driver.WorkloadDriver`: a heap of
-``(time_ns, seq, …)`` events is always popped in nondecreasing time
-order, so shared decisions (admission, batching, failover, promotion,
-rejoin) are made in a globally consistent timeline while each
-machine's own clock advances independently through its transactions.
-Ties break on a monotone sequence number — the loop is a pure function
-of the config and seed.
+PR 9 split the old single event loop into coordinator + shard-local
+stepping.  The cluster no longer pops individual events; it drives
+lock-step *epochs* (:func:`repro.serve.engine.drive`): each round it
+computes the next global event horizon — the min over every shard's
+next-event clock and the next client arrival — routes the arrivals due
+by that horizon (in the canonical ``(arrival_ns, client_id)`` order of
+:class:`~repro.serve.client.ArrivalStream`), and advances every shard
+executor to the horizon.  Because shards share nothing and each
+shard's internal event order is a total order independent of epoch
+boundaries, the outcome is bit-identical whether the executors advance
+in-process (``workers=0``) or on a pool of worker processes
+(``--workers W`` — see :mod:`repro.serve.engine`).
 
-Failover: an armed deadline power cut
-(:meth:`~repro.faults.injector.FaultInjector.arm_power_loss_at`) kills
-one machine mid-batch.  The cluster catches the
-:class:`~repro.common.errors.PowerLossError`, drives the standard
-``crash()``/``recover()`` path, and verifies against the acked-write
-oracle (including all-or-nothing for the in-flight batch).  What
-happens next depends on the group:
-
-* **unreplicated** (R = 0): the shard holds RECOVERING for the
-  recovery model's simulated duration while its queue keeps absorbing
-  traffic (overflow sheds with typed retryable rejections), the failed
-  batch is requeued, and the same machine resumes — exactly the PR 7
-  behavior, bit-identical;
-* **replicated** (R >= 1): the group enters FAILING_OVER until the
-  dead primary's lease expires, then the freshest live backup replays
-  its shipped-but-unapplied tail and serves at a bumped epoch while
-  the old primary rejoins via catch-up; after every promotion and
-  rejoin, live replicas' durable keyspaces are fingerprint-compared
-  (the divergence oracle).  A killed *backup* never stalls serving:
-  the ack proceeds with the remaining live set and the dead backup
-  rejoins later.
+Failover semantics (armed deadline power cuts, crash/recover/verify,
+lease-expiry promotion, rejoin catch-up, divergence fingerprints) are
+unchanged from PR 8 and live in :class:`~repro.serve.shard.ShardExecutor`;
+the legacy ``UP``/``RECOVERING`` names remain part of the telemetry
+and report vocabulary.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.common.errors import PowerLossError
-from repro.serve.admission import AdmissionController, RetryableRejection
-from repro.serve.batcher import BatchScheduler
-from repro.serve.client import OP_GET, Request, make_clients
-from repro.serve.oracle import AckOracle
 from repro.serve.replica import (
-    BACKUP,
-    DEAD,
-    GROUP_FAILING_OVER,
     GROUP_RECOVERING,
     GROUP_UP,
-    REJOINING,
-    Replica,
     ReplicationGroup,
 )
 from repro.serve.router import ConsistentHashRouter
+from repro.serve.shard import ShardExecutor
 from repro.telemetry.hub import Telemetry
-from repro.txn.system import MemorySystem
 
 # Legacy shard lifecycle names (PR 7); group states superseded them but
 # the strings are part of the telemetry/report vocabulary.
 UP = GROUP_UP
 RECOVERING = GROUP_RECOVERING
 
-# Event kinds: a client's next arrival, or a shard wake-up (batch
-# deadline, busy-until, recovery completion, promotion instant, or a
-# rejoin step — the pump sorts it out).
-_ARRIVAL = 0
-_WAKE = 1
-
 
 class ServeCluster:
-    """N replication groups behind a router, on one simulated-time loop."""
+    """N shard executors behind a router, advanced in lock-step epochs."""
 
     def __init__(self, cfg, *, telemetry=None) -> None:
         self.cfg = cfg
@@ -86,557 +58,154 @@ class ServeCluster:
         shard_ids = list(range(cfg.shards))
         self.router = ConsistentHashRouter(shard_ids, seed=cfg.seed)
         partition = self.router.partition(cfg.keyspace)
-        self.groups: Dict[int, ReplicationGroup] = {
-            shard_id: ReplicationGroup(
-                shard_id,
-                scheme=cfg.scheme,
-                keys=partition[shard_id],
-                value_bytes=cfg.value_bytes,
-                seed=cfg.seed,
+        self.executors: Dict[int, ShardExecutor] = {
+            shard_id: ShardExecutor(
+                cfg,
+                ReplicationGroup(
+                    shard_id,
+                    scheme=cfg.scheme,
+                    keys=partition[shard_id],
+                    value_bytes=cfg.value_bytes,
+                    seed=cfg.seed,
+                    telemetry=self.telemetry,
+                    replicas=cfg.replicas,
+                    recovery_threads=cfg.recovery_threads,
+                    lease_ns=cfg.lease_us * 1e3,
+                    apply_every=cfg.apply_every,
+                ),
                 telemetry=self.telemetry,
-                replicas=cfg.replicas,
-                recovery_threads=cfg.recovery_threads,
-                lease_ns=cfg.lease_us * 1e3,
-                apply_every=cfg.apply_every,
             )
             for shard_id in shard_ids
         }
-        self.admission = AdmissionController(
-            shard_ids, queue_depth=cfg.queue_depth
-        )
-        self.batcher = BatchScheduler(
-            batch_size=cfg.batch_size,
-            batch_wait_ns=cfg.batch_wait_us * 1e3,
-        )
-        self.oracle = AckOracle(shard_ids)
-        self.now_ns = 0.0
-        self.offered = 0
-        self.admitted = 0
-        self.acked_puts = 0
-        self.acked_gets = 0
-        self.retried = 0
-        self.shed_on_failover = 0
-        self.batches = 0
-        self.primary_kills = 0
-        self.backup_kills = 0
-        self.divergence_checks = 0
-        self.oracle_failures: List[str] = []
-        self.last_completion_ns = 0.0
-        self._events: List[tuple] = []
-        self._seq = 0
-        self._double_kill_armed = False
+        self.epochs = 0
 
-    # -- event plumbing -------------------------------------------------------
+    # -- structure ------------------------------------------------------------
 
-    def _push(self, time_ns: float, kind: int, arg: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._events, (time_ns, self._seq, kind, arg))
+    @property
+    def groups(self) -> Dict[int, ReplicationGroup]:
+        """The replication groups by shard id (through the executors)."""
+        return {
+            shard_id: executor.group
+            for shard_id, executor in self.executors.items()
+        }
+
+    def sorted_executors(self) -> List[ShardExecutor]:
+        """Executors in shard-id order — the canonical merge order."""
+        return [self.executors[sid] for sid in sorted(self.executors)]
 
     # -- the run --------------------------------------------------------------
 
-    def run(self) -> None:
-        """Drive the whole open-loop run to completion (queues drained)."""
-        cfg = self.cfg
-        clients = make_clients(
-            cfg.clients,
-            aggregate_rate_per_s=cfg.rate_per_s,
-            duration_ns=cfg.duration_ms * 1e6,
-            keyspace=cfg.keyspace,
-            value_bytes=cfg.value_bytes,
-            read_fraction=cfg.read_fraction,
-            zipf_theta=cfg.zipf_theta,
-            seed=cfg.seed,
-        )
-        pending: Dict[int, Request] = {}
-        for client_id, client in clients.items():
-            request = client.next_request()
-            if request is not None:
-                pending[client_id] = request
-                self._push(request.arrival_ns, _ARRIVAL, client_id)
-        self._arm_kills()
-        while self._events:
-            time_ns, _, kind, arg = heapq.heappop(self._events)
-            if time_ns > self.now_ns:
-                self.now_ns = time_ns
-            if kind == _ARRIVAL:
-                request = pending.pop(arg)
-                nxt = clients[arg].next_request()
-                if nxt is not None:
-                    pending[arg] = nxt
-                    self._push(nxt.arrival_ns, _ARRIVAL, arg)
-                self._admit(request)
-                self._pump(request.shard)
-            else:
-                self._pump(arg)
-        if cfg.verify_final:
-            self._final_verify()
+    def run(self, engine=None) -> None:
+        """Drive the whole open-loop run to completion (queues drained).
 
-    def _arm_kills(self) -> None:
-        """Arm the configured deadline power cuts before traffic starts.
-
-        ``--kill-shard`` (legacy, R-agnostic) and
-        ``--kill-primary-at-ms`` both target a group's primary;
-        ``--kill-backup-at-ms`` targets replica 1 of the same group.
-        The double-kill deadline is armed later, on the *promoted*
-        primary, at promotion time.
+        ``engine`` is an optional
+        :class:`~repro.serve.engine.EngineConfig`; the default runs the
+        executors in-process, ``workers > 0`` fans them out over a
+        lock-step worker pool with a bit-identical result.
         """
-        cfg = self.cfg
-        target = cfg.kill_shard if cfg.kill_shard is not None else 0
-        kill_at_ms = None
-        if cfg.kill_shard is not None:
-            kill_at_ms = (
-                cfg.kill_at_ms
-                if cfg.kill_at_ms is not None
-                else cfg.duration_ms * 0.4
-            )
-        if cfg.kill_primary_at_ms is not None:
-            kill_at_ms = cfg.kill_primary_at_ms
-        if kill_at_ms is not None:
-            primary = self.groups[target].primary
-            primary.system.device.injector.arm_power_loss_at(
-                kill_at_ms * 1e6, torn=cfg.torn_kill
-            )
-        if cfg.kill_backup_at_ms is not None:
-            backup = self.groups[target].replicas[1]
-            backup.system.device.injector.arm_power_loss_at(
-                cfg.kill_backup_at_ms * 1e6, torn=cfg.torn_kill
-            )
+        from repro.serve.engine import EngineConfig, drive
 
-    # -- admission ------------------------------------------------------------
+        drive(self, engine if engine is not None else EngineConfig())
 
-    def _admit(self, request: Request) -> None:
-        request.shard = self.router.shard_for(request.key)
-        group = self.groups[request.shard]
-        self.offered += 1
-        failing_over = group.state == GROUP_FAILING_OVER
-        recovering = group.state == GROUP_RECOVERING
-        if failing_over:
-            retry_after = max(group.promote_at_ns - self.now_ns, 0.0)
-        elif recovering:
-            retry_after = max(
-                group.primary.recover_at_ns - self.now_ns, 0.0
-            )
-        else:
-            retry_after = self.batcher.batch_wait_ns
-        try:
-            self.admission.admit(
-                request,
-                recovering=recovering,
-                retry_after_ns=retry_after,
-                failing_over=failing_over,
-            )
-        except RetryableRejection as rejection:
-            self.telemetry.emit(
-                self.now_ns,
-                "serve_reject",
-                "serve",
-                {"shard": request.shard, "kind": rejection.kind},
-            )
-            return
-        self.admitted += 1
-        self.telemetry.record(
-            f"shard{request.shard}/queue_depth",
-            self.admission.depth(request.shard),
-        )
-        self.telemetry.sample(
-            f"shard{request.shard}/admitted", self.now_ns
+    # -- aggregates (summed over executors in shard order) ---------------------
+
+    def _sum(self, attribute: str) -> int:
+        return sum(
+            getattr(executor, attribute)
+            for executor in self.sorted_executors()
         )
 
-    # -- the shard pump -------------------------------------------------------
+    @property
+    def offered(self) -> int:
+        """Requests offered across all shards."""
+        return self._sum("offered")
 
-    def _pump(self, shard_id: int) -> None:
-        """Advance one group: rejoins, promotion, recovery, then batching."""
-        group = self.groups[shard_id]
-        self._advance_rejoins(group)
-        if group.state == GROUP_FAILING_OVER:
-            if self.now_ns + 1e-9 < group.promote_at_ns:
-                return  # the promotion wake is already queued
-            self._complete_promotion(group)
-            if group.state != GROUP_UP:
-                return
-        if group.state == GROUP_RECOVERING:
-            if self.now_ns + 1e-9 < group.primary.recover_at_ns:
-                return  # the recovery-completion wake is already queued
-            self._complete_recovery(group)
-        primary = group.primary
-        if primary.clock_ns > self.now_ns + 1e-9:
-            # Busy until its clock; re-pump then.
-            self._push(primary.clock_ns, _WAKE, shard_id)
-            return
-        queue = self.admission.queues[shard_id]
-        if not queue:
-            return
-        if self.batcher.ready(queue, self.now_ns):
-            self._execute_batch(group)
-        else:
-            self._push(self.batcher.deadline_ns(queue), _WAKE, shard_id)
+    @property
+    def admitted(self) -> int:
+        """Requests admitted across all shards."""
+        return self._sum("admitted")
 
-    # -- batch execution ------------------------------------------------------
+    @property
+    def acked_puts(self) -> int:
+        """Acknowledged PUTs across all shards."""
+        return self._sum("acked_puts")
 
-    def _execute_batch(self, group: ReplicationGroup) -> None:
-        """One batch: GET loads, then all PUTs committed and shipped."""
-        primary = group.primary
-        system = primary.system
-        batch = self.batcher.take(self.admission.queues[group.shard_id])
-        start = max(self.now_ns, primary.clock_ns)
-        system.clocks[0] = start
-        self.telemetry.record("batch_size", len(batch))
-        puts: List[Request] = []
-        try:
-            for request in batch:
-                if request.op != OP_GET:
-                    puts.append(request)
-                    continue
-                system.load(
-                    primary.addr_of(request.key),
-                    primary.value_bytes,
-                    core=0,
-                )
-                request.completion_ns = system.clocks[0]
-                self._ack(group, request)
-            stores = [
-                (primary.addr_of(request.key), request.value)
-                for request in puts
-            ]
-            outcome = group.commit_and_ship(stores, core=0)
-        except PowerLossError as exc:
-            issued = getattr(exc, "issued_stores", [])
-            if primary.log_base is not None:
-                # The batch tx also carries the replication-log entry +
-                # header.  All-or-nothing is judged over the *data*
-                # words only: log words are rewritten every batch, so
-                # their pre-crash baseline is the previous log state —
-                # which the word-granular verifier (baselining against
-                # acked-or-zero) cannot know.  Log integrity is proven
-                # separately, by tail replay + divergence fingerprints.
-                issued = [
-                    s
-                    for s in issued
-                    if not primary.log_base <= s[0] < primary.log_limit
-                ]
-            staged = dict(MemorySystem.redo_words(issued))
-            unacked = [r for r in batch if r.completion_ns <= 0.0]
-            self._primary_failover(group, staged, unacked)
-            return
-        if outcome.tx is not None:
-            completion = outcome.ack_ns
-            for request in puts:
-                request.completion_ns = completion
-                self.oracle.record_ack(
-                    group.shard_id,
-                    primary.addr_of(request.key),
-                    request.value,
-                )
-                self._ack(group, request)
-        for backup in outcome.dead_backups:
-            self._backup_failover(group, backup)
-        if group.replication_enabled and outcome.tx is not None:
-            self.telemetry.sample(
-                f"shard{group.shard_id}/replication_lag",
-                self.now_ns,
-                group.replication_lag(),
-            )
-        self.batches += 1
-        self._push(primary.clock_ns, _WAKE, group.shard_id)
+    @property
+    def acked_gets(self) -> int:
+        """Acknowledged GETs across all shards."""
+        return self._sum("acked_gets")
 
-    def _ack(self, group: ReplicationGroup, request: Request) -> None:
-        """Acknowledgement instant: count + latency histograms."""
-        latency = request.latency_ns
-        if request.op == OP_GET:
-            self.acked_gets += 1
-        else:
-            self.acked_puts += 1
-        group.primary.acked += 1
-        if request.completion_ns > self.last_completion_ns:
-            self.last_completion_ns = request.completion_ns
-        self.telemetry.record("request_latency_ns", latency)
-        self.telemetry.record(
-            f"shard{group.shard_id}/request_latency_ns", latency
+    @property
+    def retried(self) -> int:
+        """Requests requeued after a failed batch, across all shards."""
+        return self._sum("retried")
+
+    @property
+    def shed_on_failover(self) -> int:
+        """In-flight requests shed during failover, across all shards."""
+        return self._sum("shed_on_failover")
+
+    @property
+    def batches(self) -> int:
+        """Batches executed across all shards."""
+        return self._sum("batches")
+
+    @property
+    def primary_kills(self) -> int:
+        """Primary power cuts across all shards."""
+        return self._sum("primary_kills")
+
+    @property
+    def backup_kills(self) -> int:
+        """Backup power cuts across all shards."""
+        return self._sum("backup_kills")
+
+    @property
+    def divergence_checks(self) -> int:
+        """Divergence-oracle passes across all shards."""
+        return self._sum("divergence_checks")
+
+    @property
+    def oracle_acked_puts(self) -> int:
+        """Acked words recorded by the oracle, across all shards."""
+        return sum(
+            executor.oracle.acked_puts
+            for executor in self.sorted_executors()
         )
 
-    # -- failover -------------------------------------------------------------
-
-    def _primary_failover(
-        self,
-        group: ReplicationGroup,
-        staged: Dict[int, bytes],
-        unacked: List[Request],
-    ) -> None:
-        """The primary died mid-batch: verify, requeue, promote or hold.
-
-        The dead machine is crashed+recovered immediately and verified
-        against every acked word (plus all-or-nothing for the in-flight
-        batch — its words, including the folded-in redo log entry, are
-        ``staged``).  With a live backup the group enters FAILING_OVER
-        until the lease expires; without one it holds RECOVERING until
-        the same machine's recovery horizon, exactly the PR 7 path.
-        """
-        primary = group.primary
-        self.primary_kills += 1
-        self.telemetry.emit(
-            self.now_ns,
-            "shard_kill",
-            "serve",
-            {"shard": group.shard_id, "staged_words": len(staged)},
-        )
-        recover_at = group.begin_replica_recovery(
-            primary, self.now_ns, floor_ns=self.cfg.recovery_floor_ns
-        )
-        failure = self.oracle.verify_shard(
-            primary.system, group.shard_id, staged
-        )
-        if failure:
-            self.oracle_failures.append(
-                f"shard {group.shard_id} after kill: {failure}"
-            )
-        fitted = self.admission.requeue_front(unacked)
-        self.retried += fitted
-        self.shed_on_failover += len(unacked) - fitted
-        if group.live_backups():
-            group.state = GROUP_FAILING_OVER
-            group.promote_at_ns = max(self.now_ns, group.lease_expiry_ns)
-            self.telemetry.emit(
-                self.now_ns,
-                "failover_begin",
-                "serve",
-                {
-                    "shard": group.shard_id,
-                    "promote_at_ns": group.promote_at_ns,
-                    "requeued": fitted,
-                },
-            )
-            self._push(group.promote_at_ns, _WAKE, group.shard_id)
-        else:
-            group.state = GROUP_RECOVERING
-            self.telemetry.emit(
-                self.now_ns,
-                "shard_recovering",
-                "serve",
-                {
-                    "shard": group.shard_id,
-                    "recovery_ns": recover_at - self.now_ns,
-                    "requeued": fitted,
-                },
-            )
-            self._push(recover_at, _WAKE, group.shard_id)
-
-    def _backup_failover(
-        self, group: ReplicationGroup, replica: Replica
-    ) -> None:
-        """A backup died (mid-ship or mid-apply): recover it off-path.
-
-        Serving never stalls — the ack already proceeded with the
-        remaining live set.  The dead backup is crashed+recovered and
-        held until its recovery horizon, after which it rejoins via
-        catch-up; its durable state is verified at rejoin (divergence
-        fingerprint) and again in the final sweep.
-        """
-        self.backup_kills += 1
-        self.telemetry.emit(
-            self.now_ns,
-            "backup_kill",
-            "serve",
-            {"shard": group.shard_id, "replica": replica.index},
-        )
-        recover_at = group.begin_replica_recovery(
-            replica, self.now_ns, floor_ns=self.cfg.recovery_floor_ns
-        )
-        self._push(recover_at, _WAKE, group.shard_id)
-
-    def _complete_promotion(self, group: ReplicationGroup) -> None:
-        """Lease expired: promote the freshest live backup (or hold).
-
-        If every backup died during the failover window the group falls
-        back to waiting for its dead primary (RECOVERING).  A power cut
-        *during* promotion (an armed deadline on the successor) demotes
-        that successor to the dead set and retries immediately with the
-        next candidate.  After a successful promotion the divergence
-        oracle compares every live replica's durable keyspace, and the
-        optional double-kill deadline is armed on the new primary.
-        """
-        old_primary = group.primary
-        successor = group.choose_successor()
-        if successor is None:
-            group.state = GROUP_RECOVERING
-            self._push(old_primary.recover_at_ns, _WAKE, group.shard_id)
-            return
-        replayed = len(successor.tail)
-        try:
-            group.promote(self.now_ns)
-        except PowerLossError:
-            self._backup_failover(group, successor)
-            group.state = GROUP_FAILING_OVER
-            group.promote_at_ns = self.now_ns
-            self._push(self.now_ns, _WAKE, group.shard_id)
-            return
-        self.telemetry.count("serve.promotions")
-        self.telemetry.emit(
-            self.now_ns,
-            "promotion",
-            "serve",
-            {
-                "shard": group.shard_id,
-                "replica": successor.index,
-                "epoch": group.epoch,
-                "replayed": replayed,
-            },
-        )
-        # A reconcile ship may have tripped an armed cut on another
-        # backup; sweep and recover any such casualty.
-        for replica in group.backups():
-            if (
-                replica.state == BACKUP
-                and replica.system.device.injector.power_lost
-            ):
-                self._backup_failover(group, replica)
-        self._check_divergence(group, "after promotion")
-        failure = self.oracle.verify_replica(
-            successor.durable_projection(),
-            group.shard_id,
-            successor.index,
-        )
-        if failure:
-            self.oracle_failures.append(
-                f"shard {group.shard_id} promoted {failure}"
-            )
-        if (
-            self.cfg.double_kill_at_ms is not None
-            and not self._double_kill_armed
-        ):
-            self._double_kill_armed = True
-            successor.system.device.injector.arm_power_loss_at(
-                self.cfg.double_kill_at_ms * 1e6, torn=self.cfg.torn_kill
-            )
-        self._push(
-            max(self.now_ns, old_primary.recover_at_ns),
-            _WAKE,
-            group.shard_id,
-        )
-        self._push(successor.clock_ns, _WAKE, group.shard_id)
-
-    def _complete_recovery(self, group: ReplicationGroup) -> None:
-        """Recovery horizon reached: the machine serves again (cold caches)."""
-        primary = group.primary
-        cores = len(primary.system.clocks)
-        primary.system.clocks = [primary.recover_at_ns] * cores
-        group.resume_solo(primary, primary.recover_at_ns)
-        primary.recoveries += 1
-        self.telemetry.emit(
-            primary.recover_at_ns,
-            "shard_recovered",
-            "serve",
-            {"shard": group.shard_id},
+    @property
+    def oracle_verifications(self) -> int:
+        """Oracle verification passes across all shards."""
+        return sum(
+            executor.oracle.verifications
+            for executor in self.sorted_executors()
         )
 
-    # -- rejoin ---------------------------------------------------------------
+    @property
+    def oracle_failures(self) -> List[str]:
+        """Every shard's oracle failures, concatenated in shard order."""
+        failures: List[str] = []
+        for executor in self.sorted_executors():
+            failures.extend(executor.oracle_failures)
+        return failures
 
-    def _advance_rejoins(self, group: ReplicationGroup) -> None:
-        """Move due non-primary replicas through DEAD → REJOINING → BACKUP.
+    @property
+    def last_completion_ns(self) -> float:
+        """The latest acknowledgement instant across all shards."""
+        executors = self.sorted_executors()
+        if not executors:
+            return 0.0
+        return max(executor.last_completion_ns for executor in executors)
 
-        Runs at the head of every pump, so any wake or arrival after a
-        replica's recovery horizon makes progress.  A rejoin needs a
-        live primary as its catch-up source: while the group is itself
-        failing over or recovering, the step is deferred to the group's
-        own resume instant.
-        """
-        for replica in group.replicas:
-            if replica.index == group.primary_index:
-                continue
-            if replica.state == DEAD:
-                if self.now_ns + 1e-9 < replica.recover_at_ns:
-                    continue  # its recovery wake is already queued
-                if group.state != GROUP_UP:
-                    resume = (
-                        group.promote_at_ns
-                        if group.state == GROUP_FAILING_OVER
-                        else group.primary.recover_at_ns
-                    )
-                    self._push(
-                        max(resume, replica.recover_at_ns),
-                        _WAKE,
-                        group.shard_id,
-                    )
-                    continue
-                replica.state = REJOINING
-                self.telemetry.emit(
-                    self.now_ns,
-                    "rejoin_begin",
-                    "serve",
-                    {"shard": group.shard_id, "replica": replica.index},
-                )
-                try:
-                    group.catch_up(replica, self.now_ns)
-                except PowerLossError:
-                    self._backup_failover(group, replica)
-                    continue
-                self._try_go_live(group, replica)
-            elif replica.state == REJOINING and group.state == GROUP_UP:
-                self._try_go_live(group, replica)
+    @property
+    def rejections(self) -> Dict[str, int]:
+        """Admission rejections by kind, summed in shard order."""
+        merged: Dict[str, int] = {}
+        for executor in self.sorted_executors():
+            for kind, count in executor.admission.rejections.items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
 
-    def _try_go_live(
-        self, group: ReplicationGroup, replica: Replica
-    ) -> None:
-        """One rejoin step: delta re-ship, then live — or a later retry."""
-        try:
-            retry_at = group.try_go_live(replica, self.now_ns)
-        except PowerLossError:
-            self._backup_failover(group, replica)
-            return
-        if retry_at is not None:
-            self._push(retry_at, _WAKE, group.shard_id)
-            return
-        self.telemetry.count("serve.rejoins")
-        self.telemetry.emit(
-            self.now_ns,
-            "rejoin_complete",
-            "serve",
-            {"shard": group.shard_id, "replica": replica.index},
-        )
-        self._check_divergence(group, f"after replica {replica.index} rejoin")
-
-    # -- verification ---------------------------------------------------------
-
-    def _check_divergence(self, group: ReplicationGroup, label: str) -> None:
-        """Fingerprint-compare every live replica's durable keyspace."""
-        self.divergence_checks += 1
-        failure = group.divergence()
-        if failure:
-            self.oracle_failures.append(f"{failure} ({label})")
-
-    def _final_verify(self) -> None:
-        """End-of-run sweep: every replica's durable state must hold.
-
-        Unreplicated groups take the PR 7 path verbatim (crash+recover
-        the one machine, verify once).  Replicated groups are verified
-        non-destructively: one divergence check across live replicas,
-        then every replica's durable projection against the full ack
-        history — a replica still dead or rejoining at drain time is
-        itself a failure (the event loop drains every recovery wake, so
-        a straggler means the rejoin protocol lost it).
-        """
-        for shard_id, group in sorted(self.groups.items()):
-            if not group.replication_enabled:
-                shard = group.primary
-                shard.system.crash()
-                shard.system.recover(threads=self.cfg.recovery_threads)
-                failure = self.oracle.verify_shard(shard.system, shard_id)
-                if failure:
-                    self.oracle_failures.append(
-                        f"shard {shard_id} final sweep: {failure}"
-                    )
-                continue
-            self._check_divergence(group, "final sweep")
-            for replica in group.replicas:
-                if not replica.live:
-                    self.oracle_failures.append(
-                        f"shard {shard_id} replica {replica.index} "
-                        f"never rejoined (state {replica.state})"
-                    )
-                    continue
-                failure = self.oracle.verify_replica(
-                    replica.durable_projection(), shard_id, replica.index
-                )
-                if failure:
-                    self.oracle_failures.append(
-                        f"shard {shard_id} final sweep {failure}"
-                    )
+    def queue_depth(self, shard_id: int) -> int:
+        """One shard's current admission-queue depth."""
+        return self.executors[shard_id].admission.depth(shard_id)

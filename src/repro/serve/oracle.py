@@ -113,3 +113,9 @@ class AckOracle:
         if failure:
             return f"replica {replica_index}: {failure}"
         return None
+
+
+# -- snapshot/wire declarations -----------------------------------------------
+# The acked-word maps are promises in flight: they travel by value with
+# their shard executor.
+AckOracle.__snapshot_state__ = "__all__"

@@ -848,11 +848,48 @@ class ReplicationGroup:
 
     # -- verification ----------------------------------------------------------
 
+    def live_projections(self) -> Dict[int, object]:
+        """One durable projection per live replica, by index.
+
+        The projection (clone + crash + recover + tail replay, see
+        :meth:`Replica.durable_projection`) is the expensive step of
+        every verification pass, so callers compute this map *once*
+        per pass and feed it to both :meth:`divergence_of` and the
+        acked-write oracle — one scratch clone per replica instead of
+        one per check.
+        """
+        return {
+            r.index: r.durable_projection() for r in self.replicas if r.live
+        }
+
     def live_fingerprints(self) -> Dict[int, str]:
         """Durable keyspace fingerprint of every live replica, by index."""
         return {
             r.index: r.fingerprint() for r in self.replicas if r.live
         }
+
+    def divergence_of(self, projections: Dict[int, object]) -> Optional[str]:
+        """Compare already-computed projections; None when identical.
+
+        ``projections`` maps replica index to a durable projection (as
+        from :meth:`live_projections`); fingerprints are taken over
+        each replica's key slots, so the caller pays for the clones
+        once per verification pass, not once per check.
+        """
+        prints: Dict[int, str] = {}
+        for replica in self.replicas:
+            projection = projections.get(replica.index)
+            if projection is None:
+                continue
+            prints[replica.index] = keyspace_fingerprint(
+                projection, replica.slot_addrs, replica.value_bytes
+            )
+        if len(set(prints.values())) <= 1:
+            return None
+        detail = ", ".join(
+            f"replica {index}={fp[:12]}" for index, fp in sorted(prints.items())
+        )
+        return f"shard {self.shard_id} replicas diverged: {detail}"
 
     def divergence(self) -> Optional[str]:
         """Compare live replicas' durable keyspaces; None when identical.
@@ -862,10 +899,13 @@ class ReplicationGroup:
         content — acked or not, a replica chain that disagrees with
         itself is broken even if no promise was violated yet.
         """
-        prints = self.live_fingerprints()
-        if len(set(prints.values())) <= 1:
-            return None
-        detail = ", ".join(
-            f"replica {index}={fp[:12]}" for index, fp in sorted(prints.items())
-        )
-        return f"shard {self.shard_id} replicas diverged: {detail}"
+        return self.divergence_of(self.live_projections())
+
+
+# -- snapshot/wire declarations -----------------------------------------------
+# A group (machines, logs, volatile mirrors, fault state) is deep state:
+# everything travels by value when a group is wired between processes or
+# cloned; only the telemetry hub is shared/substituted.
+Replica.__snapshot_state__ = "__all__"
+ReplicationGroup.__snapshot_state__ = "__all__"
+ShipOutcome.__snapshot_state__ = "__all__"

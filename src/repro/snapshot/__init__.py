@@ -75,6 +75,9 @@ __all__ = [
     "checkpoint_cadence",
     "unregistered_classes",
     "reset_unregistered",
+    "to_wire",
+    "from_wire",
+    "WireError",
 ]
 
 # Types shared without memoization: immutable, identity-irrelevant.
@@ -474,3 +477,7 @@ def capture(system: Any, *, txn_index: int = 0) -> Snapshot:
 def restore(snapshot: Snapshot) -> Any:
     """Module-level convenience for ``snapshot.restore()``."""
     return snapshot.restore()
+
+
+# Bottom import: wire.py reuses this module's _UNREGISTERED tripwire.
+from repro.snapshot.wire import WireError, from_wire, to_wire  # noqa: E402

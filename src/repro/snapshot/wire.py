@@ -1,0 +1,142 @@
+"""Compact wire form of simulator state for cross-process transfer.
+
+The snapshot engine's clone path (:func:`repro.snapshot.clone_state`)
+moves state *within* one process; the parallel serve engine
+(:mod:`repro.serve.engine`) also needs to move whole shard machines
+*between* processes — placing replication groups on workers at startup
+and migrating them off a dead worker.  :func:`to_wire` /
+:func:`from_wire` are that transport: pickle (protocol 5) plus zlib,
+with two simulator-specific twists layered on the
+``__snapshot_state__`` discipline:
+
+* **Telemetry is never shipped.**  Every simulator component holds a
+  hub reference (often the shared :data:`~repro.telemetry.hub.NULL_TELEMETRY`
+  singleton); serializing one would drag the whole event buffer along
+  and, worse, give the receiver a *private* hub cut off from the live
+  one.  The pickler swaps any :class:`~repro.telemetry.hub.NullTelemetry`
+  (hence any :class:`~repro.telemetry.hub.Telemetry`) for a persistent-id
+  sentinel, and :func:`from_wire` splices in the hub the *receiving*
+  process passes — the same aliasing contract as the clone engine's
+  ``__shared__`` declaration.
+
+* **The unregistered-class tripwire carries over.**  Any ``repro``
+  class serialized without a ``__snapshot_state__`` /
+  ``__snapshot_clone__`` declaration is recorded in the same
+  :func:`repro.snapshot.unregistered_classes` set the clone engine
+  feeds, so the existing test-suite tripwire also forces new
+  wire-travelling state to declare itself.
+
+Determinism: pickling is structural, so a machine rebuilt with
+:func:`from_wire` steps bit-identically to the original — RNG streams
+travel via ``getstate``, bound-method callbacks re-bind on load, and
+bytearray-backed NVM pages round-trip verbatim.  (The round-trip tests
+assert this on a mid-traffic replication group.)
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import pickle
+import zlib
+from typing import Any, Optional
+
+from repro.snapshot import _UNREGISTERED
+from repro.telemetry.hub import NULL_TELEMETRY, NullTelemetry
+
+__all__ = ["to_wire", "from_wire", "WireError"]
+
+# Format header: magic + version.  Bump the version on any change to
+# the sentinel scheme — a wire blob is a transport, not an archive, but
+# a mixed-version worker pool must fail loudly, not deserialize junk.
+_MAGIC = b"RPW1"
+
+# The persistent id standing in for every telemetry hub reference.
+_TELEMETRY_PID = "telemetry"
+
+# zlib level 1: the blobs are dominated by sparse NVM page bytes that
+# compress well even at the fastest setting, and wire transfers sit on
+# the engine's per-epoch critical path.
+_ZLIB_LEVEL = 1
+
+
+class WireError(Exception):
+    """A blob that is not a wire blob (bad magic or version)."""
+
+
+def _is_registered(cls: type) -> bool:
+    """Has this class declared itself to the snapshot engine?"""
+    return (
+        getattr(cls, "__snapshot_state__", None) is not None
+        or getattr(cls, "__snapshot_clone__", None) is not None
+    )
+
+
+class _WirePickler(pickle.Pickler):
+    """Pickler with the telemetry sentinel and the registration tripwire."""
+
+    def persistent_id(self, obj: Any) -> Optional[str]:
+        """Replace any telemetry hub (null or live) with the sentinel."""
+        if isinstance(obj, NullTelemetry):
+            return _TELEMETRY_PID
+        return None
+
+    def reducer_override(self, obj: Any):
+        """Record undeclared ``repro`` classes, then defer to pickle.
+
+        Enum members are exempt, mirroring the clone engine: pickle
+        serializes them by name, so the receiver gets its process's own
+        singleton — exactly the sharing an immutable atom wants.
+        """
+        cls = type(obj)
+        if (
+            getattr(cls, "__module__", "").startswith("repro")
+            and not isinstance(obj, enum.Enum)
+            and not _is_registered(cls)
+        ):
+            _UNREGISTERED.add(cls)
+        return NotImplemented
+
+
+class _WireUnpickler(pickle.Unpickler):
+    """Unpickler resolving the telemetry sentinel to the receiver's hub."""
+
+    def __init__(self, file, telemetry) -> None:
+        super().__init__(file)
+        self._telemetry = telemetry
+
+    def persistent_load(self, pid: str) -> Any:
+        """Splice the receiving process's hub in for the sentinel."""
+        if pid == _TELEMETRY_PID:
+            return self._telemetry
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def to_wire(obj: Any) -> bytes:
+    """Serialize a simulator object graph to a compact transferable blob.
+
+    Telemetry hub references are replaced by a sentinel (the receiver
+    supplies its own hub to :func:`from_wire`); everything else travels
+    by value, aliasing preserved, exactly as pickle memoizes it.
+    """
+    buffer = io.BytesIO()
+    _WirePickler(buffer, protocol=5).dump(obj)
+    return _MAGIC + zlib.compress(buffer.getvalue(), _ZLIB_LEVEL)
+
+
+def from_wire(blob: bytes, *, telemetry=None) -> Any:
+    """Rebuild a simulator object graph from a :func:`to_wire` blob.
+
+    ``telemetry`` is the hub every rebuilt component will hold (the
+    receiving process's live hub); it defaults to the shared
+    :data:`~repro.telemetry.hub.NULL_TELEMETRY` singleton, i.e. the
+    rebuilt machine is observationally silent until told otherwise.
+    """
+    if blob[: len(_MAGIC)] != _MAGIC:
+        raise WireError(
+            f"not a wire blob (expected magic {_MAGIC!r}, got "
+            f"{bytes(blob[: len(_MAGIC)])!r})"
+        )
+    hub = telemetry if telemetry is not None else NULL_TELEMETRY
+    payload = zlib.decompress(blob[len(_MAGIC) :])
+    return _WireUnpickler(io.BytesIO(payload), hub).load()

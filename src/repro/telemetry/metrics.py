@@ -92,6 +92,27 @@ class Log2Histogram:
             return (0.0, 0.0)
         return self.bucket_bounds(self._percentile_bucket(fraction))
 
+    def merge(self, other: "Log2Histogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Bucket counts, count, and total add; min/max combine.  Merging
+        is associative over bucket counts and extrema, so any merge
+        order yields the same percentiles — and merging single-writer
+        histograms in a fixed (shard) order also makes the float
+        ``total``/``mean`` deterministic, which is what lets the serve
+        report stay byte-identical between sequential and parallel
+        execution.
+        """
+        buckets = self.buckets
+        for index, n in enumerate(other.buckets):
+            buckets[index] += n
+        self.count += other.count
+        self.total += other.total
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        if other.min_value < self.min_value:
+            self.min_value = other.min_value
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -143,6 +164,21 @@ class EpochSeries:
             pair = self.values[i : i + 2]
             merged.append(sum(pair))
         self.values = merged
+
+    def merge(self, other: "EpochSeries") -> None:
+        """Fold another series into this one, aligning resolutions.
+
+        This series first coalesces until its ``epoch_ns`` is at least
+        the other's (both only ever double, so they always align);
+        every source epoch then lands wholly inside one destination
+        epoch.  Zero-valued source epochs are folded too, so the merged
+        epoch count matches what direct accumulation would have
+        produced.
+        """
+        while self.epoch_ns < other.epoch_ns:
+            self._coalesce()
+        for index, value in enumerate(other.values):
+            self.add(index * other.epoch_ns, value)
 
     @property
     def total(self) -> float:
